@@ -1,0 +1,68 @@
+"""Substrate bench — [TSS98] cost model: predicted vs measured node accesses.
+
+The selectivity theory behind the paper's hard-region generation also
+predicts R-tree window-query cost.  This bench measures both sides on
+uniform data (the model's assumption) across window sizes and reports the
+prediction error — evidence that the substrate behaves like the analytical
+R-trees the literature reasons about.
+"""
+
+import random
+import statistics
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import Rect, uniform_dataset
+from repro.bench import format_table
+from repro.index import predicted_node_accesses
+from repro.index.queries import search_items
+
+WINDOW_SIDES = (0.02, 0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(scaled_int(20_000), 0.2, random.Random(0))
+
+
+@pytest.mark.parametrize("side", WINDOW_SIDES)
+def test_window_query_cost(benchmark, dataset, side):
+    rng = random.Random(1)
+
+    def one_query():
+        x = rng.uniform(0, 1 - side)
+        y = rng.uniform(0, 1 - side)
+        return sum(1 for _ in search_items(dataset.tree, Rect(x, y, x + side, y + side)))
+
+    count = benchmark(one_query)
+    assert count >= 0
+
+
+def test_prediction_summary(benchmark, dataset):
+    def run():
+        rng = random.Random(2)
+        rows = []
+        for side in WINDOW_SIDES:
+            measurements = []
+            for _ in range(200):
+                x = rng.uniform(0, 1 - side)
+                y = rng.uniform(0, 1 - side)
+                dataset.tree.stats.reset()
+                list(search_items(dataset.tree, Rect(x, y, x + side, y + side)))
+                measurements.append(dataset.tree.stats.node_reads)
+            measured = statistics.fmean(measurements)
+            predicted = predicted_node_accesses(
+                dataset.tree, side, side, workspace=Rect(0, 0, 1, 1)
+            )
+            error = abs(predicted - measured) / measured
+            rows.append([side, predicted, measured, error])
+        record_table(format_table(
+            "Substrate — [TSS98] window-query cost model "
+            f"(uniform N={len(dataset)}, d=0.2, 200 queries per row)",
+            ["window side", "predicted reads", "measured reads", "rel. error"],
+            rows,
+        ))
+        for row in rows:
+            assert row[3] < 0.5, f"model off by {row[3]:.0%} at side {row[0]}"
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Baseline bench A5 — exact multiway join algorithms.
+
+Compares the exact baselines of §2 — Window Reduction, Synchronous
+Traversal and the Pairwise Join Method — on identical instances (all must
+return identical solution sets; brute force provides the oracle at the
+smallest size).  These algorithms motivate the paper: their cost explodes
+with query size while the heuristics keep answering within a budget.
+"""
+
+import time
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import QueryGraph, hard_instance
+from repro.bench import format_table
+from repro.joins import (
+    pairwise_join_method,
+    synchronous_traversal_join,
+    window_reduction_join,
+)
+
+ALGORITHMS = {
+    "WR": window_reduction_join,
+    "ST": synchronous_traversal_join,
+    "PJM": pairwise_join_method,
+}
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return hard_instance(
+        QueryGraph.clique(3),
+        cardinality=scaled_int(1_500),
+        seed=7,
+        target_solutions=20.0,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_exact_join(benchmark, instance, name):
+    algorithm = ALGORITHMS[name]
+    solutions = benchmark(lambda: list(algorithm(instance)))
+    assert all(len(s) == 3 for s in solutions)
+
+
+def test_agreement_and_summary(benchmark, instance):
+    def run():
+        rows = []
+        reference = None
+        for name, algorithm in sorted(ALGORITHMS.items()):
+            for tree in (dataset.tree for dataset in instance.datasets):
+                tree.stats.reset()
+            started = time.perf_counter()
+            solutions = set(algorithm(instance))
+            elapsed = time.perf_counter() - started
+            node_reads = sum(d.tree.stats.node_reads for d in instance.datasets)
+            rows.append([name, len(solutions), elapsed, node_reads])
+            if reference is None:
+                reference = solutions
+            else:
+                assert solutions == reference, f"{name} disagrees with the others"
+        record_table(format_table(
+            "A5 — exact multiway joins (clique n=3, "
+            f"N={len(instance.datasets[0])}, ~20 expected solutions)",
+            ["algorithm", "solutions", "seconds", "node reads"],
+            rows,
+        ))
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,113 @@
+"""Substrate bench A4 — R*-tree construction and query costs.
+
+Not a paper figure, but the substrate every experiment stands on: compares
+STR bulk loading against dynamic R*-tree insertion (build time and window
+query node accesses) and times the ``find_best_value`` branch-and-bound
+against a full scan of the domain.
+"""
+
+import random
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import Rect, RStarTree, bulk_load
+from repro.bench import format_table
+from repro.core.best_value import brute_force_best_value, find_best_value
+from repro.geometry import INTERSECTS
+from repro.index.queries import search_items
+
+SIZE = None  # set lazily so REPRO_BENCH_SCALE is honoured
+
+
+def _entries(count, seed=0):
+    rng = random.Random(seed)
+    return [
+        (Rect.from_center(rng.random(), rng.random(), 0.01, 0.01), index)
+        for index in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return _entries(scaled_int(20_000))
+
+
+@pytest.fixture(scope="module")
+def packed(entries):
+    return bulk_load(entries, max_entries=40)
+
+
+def test_bulk_load(benchmark, entries):
+    tree = benchmark(bulk_load, entries, 40)
+    assert len(tree) == len(entries)
+
+
+def test_dynamic_insert(benchmark, entries):
+    subset = entries[: max(1, len(entries) // 10)]
+
+    def build():
+        tree = RStarTree(max_entries=40)
+        for rect, item in subset:
+            tree.insert(rect, item)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == len(subset)
+
+
+def test_window_query(benchmark, packed):
+    window = Rect(0.4, 0.4, 0.45, 0.45)
+    result = benchmark(lambda: list(search_items(packed, window)))
+    assert len(result) > 0
+
+
+def test_find_best_value_indexed(benchmark, packed, entries):
+    constraints = [
+        (INTERSECTS, Rect(0.50, 0.50, 0.52, 0.52)),
+        (INTERSECTS, Rect(0.51, 0.51, 0.53, 0.53)),
+        (INTERSECTS, Rect(0.90, 0.90, 0.92, 0.92)),
+    ]
+    found = benchmark(find_best_value, packed, constraints, 0.0)
+    assert found is not None
+
+
+def test_find_best_value_full_scan(benchmark, entries):
+    rects = [rect for rect, _item in entries]
+    constraints = [
+        (INTERSECTS, Rect(0.50, 0.50, 0.52, 0.52)),
+        (INTERSECTS, Rect(0.51, 0.51, 0.53, 0.53)),
+        (INTERSECTS, Rect(0.90, 0.90, 0.92, 0.92)),
+    ]
+    found = benchmark(brute_force_best_value, rects, constraints, 0.0)
+    assert found is not None
+
+
+def test_build_quality_summary(benchmark, entries, packed):
+    """Record node-access comparison: packed vs dynamically built tree."""
+    def run():
+        subset = entries[: max(1, len(entries) // 10)]
+        dynamic = RStarTree(max_entries=40)
+        for rect, item in subset:
+            dynamic.insert(rect, item)
+        packed_small = bulk_load(subset, max_entries=40)
+
+        rows = []
+        for label, tree in (("STR bulk", packed_small), ("dynamic R*", dynamic)):
+            tree.stats.reset()
+            for shift in range(20):
+                origin = 0.04 * shift
+                list(search_items(tree, Rect(origin, origin, origin + 0.05, origin + 0.05)))
+            rows.append([
+                label,
+                len(tree),
+                tree.height,
+                tree.stats.node_reads / 20,
+            ])
+        record_table(format_table(
+            "A4 — R*-tree build strategies: node reads per window query "
+            f"(N={len(subset)})",
+            ["build", "objects", "height", "reads/query"],
+            rows,
+        ))
+    benchmark.pedantic(run, rounds=1, iterations=1)

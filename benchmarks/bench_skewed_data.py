@@ -1,0 +1,97 @@
+"""Robustness bench — heuristics on non-uniform data (extension).
+
+The paper evaluates on uniform data only (footnote 2).  Real spatial data is
+skewed, so this bench re-runs the Figure-10a comparison on three data
+models at the same *density*: uniform (the paper's), gaussian-clustered and
+Zipf-area.  The algorithms make no uniformity assumption — only the
+hard-region density calibration does — so their relative order should
+survive, with absolute similarity rising on skewed data (clusters create
+overlap hot-spots).
+"""
+
+import random
+import statistics
+
+import pytest
+from conftest import record_table, scaled, scaled_int
+
+from repro import (
+    Budget,
+    QueryGraph,
+    guided_indexed_local_search,
+    indexed_local_search,
+    spatial_evolutionary_algorithm,
+)
+from repro.bench import format_table
+from repro.data import gaussian_cluster_dataset, uniform_dataset, zipf_dataset
+from repro.query import ProblemInstance, density_for_solutions
+
+GENERATORS = {
+    "uniform": lambda n, d, rng: uniform_dataset(n, d, rng),
+    "gaussian": lambda n, d, rng: gaussian_cluster_dataset(n, d, rng, clusters=6),
+    "zipf": lambda n, d, rng: zipf_dataset(n, d, rng, skew=1.3),
+}
+
+ALGORITHMS = {
+    "ILS": indexed_local_search,
+    "GILS": guided_indexed_local_search,
+    "SEA": spatial_evolutionary_algorithm,
+}
+
+
+def make_instance(kind, cardinality, seed):
+    query = QueryGraph.clique(8)
+    density = density_for_solutions(query, cardinality, 1.0)
+    rng = random.Random(seed)
+    datasets = [
+        GENERATORS[kind](cardinality, density, rng)
+        for _ in range(query.num_variables)
+    ]
+    return ProblemInstance(query=query, datasets=datasets, density=density)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    cardinality = scaled_int(2_000)
+    return {kind: make_instance(kind, cardinality, seed=61) for kind in GENERATORS}
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_ils_on_data_model(benchmark, instances, kind):
+    result = benchmark.pedantic(
+        lambda: indexed_local_search(
+            instances[kind], Budget.seconds(scaled(0.5, minimum=0.2)), seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 <= result.best_similarity <= 1.0
+
+
+def test_skew_summary(benchmark, instances):
+    def run():
+        budget_seconds = scaled(1.0, minimum=0.3)
+        repetitions = scaled_int(2)
+        rows = []
+        for kind, instance in instances.items():
+            row = [kind]
+            for name, algorithm in ALGORITHMS.items():
+                similarities = [
+                    algorithm(
+                        instance, Budget.seconds(budget_seconds), seed=rep
+                    ).best_similarity
+                    for rep in range(repetitions)
+                ]
+                row.append(statistics.fmean(similarities))
+            rows.append(row)
+        record_table(format_table(
+            "Extension — data-model robustness (clique n=8, "
+            f"N={len(instances['uniform'].datasets[0])}, hard-region density, "
+            f"t={budget_seconds:.1f}s, {repetitions} reps)",
+            ["data model"] + list(ALGORITHMS),
+            rows,
+        ))
+        for row in rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+    benchmark.pedantic(run, rounds=1, iterations=1)

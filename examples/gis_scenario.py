@@ -1,0 +1,88 @@
+"""GIS scenario: the paper's motivating chain query.
+
+"Find all cities crossed by a river which crosses an industrial area" —
+a 3-way chain join over three thematic layers covering the same region,
+each stored in its own table with its own R*-tree (the storage model of
+§1).  The example builds plausible synthetic layers, enumerates the exact
+solutions with Window Reduction, and shows how approximate retrieval
+degrades gracefully when the query is over-constrained (cities must also
+overlap the industrial area: a clique).
+
+Run:  python examples/gis_scenario.py
+"""
+
+import random
+
+from repro import (
+    Budget,
+    QueryGraph,
+    Rect,
+    SpatialDataset,
+    indexed_local_search,
+    window_reduction_join,
+)
+from repro.query import ProblemInstance
+
+
+def build_layers(rng: random.Random) -> dict[str, SpatialDataset]:
+    """Three thematic layers over the unit-square region."""
+    cities = [
+        Rect.from_center(rng.random(), rng.random(), rng.uniform(0.01, 0.04),
+                         rng.uniform(0.01, 0.04))
+        for _ in range(800)
+    ]
+    # rivers: long thin horizontal/vertical MBRs
+    rivers = []
+    for _ in range(300):
+        if rng.random() < 0.5:
+            rivers.append(Rect.from_center(
+                rng.random(), rng.random(), rng.uniform(0.2, 0.6), 0.01))
+        else:
+            rivers.append(Rect.from_center(
+                rng.random(), rng.random(), 0.01, rng.uniform(0.2, 0.6)))
+    industrial = [
+        Rect.from_center(rng.random(), rng.random(), rng.uniform(0.03, 0.08),
+                         rng.uniform(0.03, 0.08))
+        for _ in range(400)
+    ]
+    return {
+        "cities": SpatialDataset(cities, name="cities"),
+        "rivers": SpatialDataset(rivers, name="rivers"),
+        "industrial": SpatialDataset(industrial, name="industrial areas"),
+    }
+
+
+def main() -> None:
+    rng = random.Random(2002)
+    layers = build_layers(rng)
+    for layer in layers.values():
+        print(f"layer {layer.name!r}: {len(layer)} objects, "
+              f"density {layer.density():.3f}")
+
+    datasets = [layers["cities"], layers["rivers"], layers["industrial"]]
+
+    # --- chain: city — river — industrial area ------------------------
+    chain = QueryGraph.chain(3)
+    chain_instance = ProblemInstance(query=chain, datasets=datasets)
+    solutions = list(window_reduction_join(chain_instance, limit=10_000))
+    print(f"\nchain query (city x river x industrial): "
+          f"{len(solutions)} exact solutions (Window Reduction)")
+    for city, river, area in solutions[:3]:
+        print(f"  example: city #{city}, river #{river}, industrial #{area}")
+
+    # --- clique: the city must also touch the industrial area ---------
+    clique = QueryGraph.clique(3)
+    clique_instance = ProblemInstance(query=clique, datasets=datasets)
+    exact = list(window_reduction_join(clique_instance, limit=10_000))
+    print(f"\nclique query (all three overlap): {len(exact)} exact solutions")
+
+    # approximate retrieval still answers instantly even if none exist
+    result = indexed_local_search(clique_instance, Budget.seconds(1.0), seed=1)
+    print(f"approximate retrieval: {result.summary()}")
+    if not exact and not result.is_exact:
+        print("no exact configuration exists — the heuristic returned the "
+              "closest one instead of an empty result (the paper's point)")
+
+
+if __name__ == "__main__":
+    main()

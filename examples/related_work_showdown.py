@@ -1,0 +1,81 @@
+"""Related-work showdown: why index-aware search (§2 of the paper).
+
+Puts the paper's contribution next to the two prior-art families it
+criticises, on the same configuration-retrieval task:
+
+1. **2D strings** ([CSY87]/[LYC92]) — iconic indexing: whole-image string
+   matching.  Works on small pictures, cost grows quadratically, and the
+   result is a ranked list of *images*, not object configurations.
+2. **Classic simulated annealing** ([PMK+99]-style, random moves) — answers
+   the right question but wanders blindly in an N^n search space.
+3. **ILS / ISA** (this paper) — the same searches armed with R*-trees.
+
+Run:  python examples/related_work_showdown.py
+"""
+
+import random
+import time
+
+from repro import (
+    Budget,
+    QueryGraph,
+    Rect,
+    SAConfig,
+    hard_instance,
+    indexed_local_search,
+    indexed_simulated_annealing,
+)
+from repro.strings2d import ImageDatabase, LabelledObject
+
+
+def main() -> None:
+    # the task: find a 5-object mutually-overlapping configuration across
+    # five 10k-object datasets (one per object type)
+    instance = hard_instance(QueryGraph.clique(5), cardinality=10_000, seed=13)
+    total_objects = sum(len(d) for d in instance.datasets)
+    print(f"task: 5-way clique configuration over {total_objects} objects\n")
+
+    # --- 1. 2D strings: encode everything as one symbolic picture --------
+    picture = [
+        LabelledObject(f"type{index}", rect)
+        for index, dataset in enumerate(instance.datasets)
+        for rect in dataset.rects
+    ]
+    database = ImageDatabase()
+    started = time.perf_counter()
+    database.add_image("map", picture)
+    encode_time = time.perf_counter() - started
+
+    rng = random.Random(0)
+    query = [
+        LabelledObject(f"type{index}", Rect.from_center(0.5 + rng.uniform(-0.01, 0.01),
+                                                        0.5 + rng.uniform(-0.01, 0.01),
+                                                        0.02, 0.02))
+        for index in range(5)
+    ]
+    started = time.perf_counter()
+    hits = database.search(query, top_k=1)
+    query_time = time.perf_counter() - started
+    print("2D strings  : encoded the map in "
+          f"{encode_time:.2f}s; one similarity query took {query_time:.2f}s "
+          f"and can only say 'this image scores {hits[0].similarity:.2f}' — "
+          "it does not return which objects form the configuration")
+
+    # --- 2. blind simulated annealing ------------------------------------
+    blind = indexed_simulated_annealing(
+        instance, Budget.seconds(2.0), seed=1,
+        config=SAConfig(guided_move_rate=0.0),
+    )
+    print(f"blind SA    : {blind.summary()}")
+
+    # --- 3. the paper's index-aware searches -----------------------------
+    guided = indexed_simulated_annealing(instance, Budget.seconds(2.0), seed=1)
+    print(f"indexed SA  : {guided.summary()}")
+    ils = indexed_local_search(instance, Budget.seconds(2.0), seed=1)
+    print(f"ILS         : {ils.summary()}")
+
+    print("\nsame budget, same machine — the R*-tree is the difference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""repro — approximate processing of multiway spatial joins.
+
+A from-scratch reproduction of Papadias & Arkoumanis, *"Approximate
+Processing of Multiway Spatial Joins in Very Large Databases"* (EDBT 2002):
+R*-tree-indexed datasets, hard-region problem generation, and the paper's
+search algorithms — ILS, GILS, SEA, IBB and the two-step combinations —
+plus exact-join baselines (WR, ST, PJM).
+
+Quickstart::
+
+    from repro import Budget, QueryGraph, hard_instance, spatial_evolutionary_algorithm
+
+    query = QueryGraph.clique(5)
+    instance = hard_instance(query, cardinality=2_000, seed=7)
+    result = spatial_evolutionary_algorithm(instance, Budget.seconds(2.0), seed=7)
+    print(result.summary())
+"""
+
+from .geometry import (
+    CONTAINS,
+    INSIDE,
+    INTERSECTS,
+    NORTHEAST,
+    SOUTHWEST,
+    Rect,
+    SpatialPredicate,
+    WithinDistance,
+    predicate_from_name,
+)
+from .index import RStarTree, bulk_load, nearest_neighbors, search, search_items
+from .data import (
+    SpatialDataset,
+    UNIT_WORKSPACE,
+    gaussian_cluster_dataset,
+    load_csv,
+    load_npz,
+    save_csv,
+    save_npz,
+    uniform_dataset,
+    zipf_dataset,
+)
+from .query import (
+    ProblemInstance,
+    QueryGraph,
+    density_for_solutions,
+    expected_solutions,
+    hard_instance,
+    planted_instance,
+    problem_size_bits,
+)
+from .core import (
+    Budget,
+    ConvergenceTrace,
+    GILSConfig,
+    IBBConfig,
+    ILSConfig,
+    QueryEvaluator,
+    RunResult,
+    SEAConfig,
+    SEAParameters,
+    SolutionState,
+    TwoStepResult,
+    find_best_value,
+    guided_indexed_local_search,
+    indexed_branch_and_bound,
+    indexed_local_search,
+    spatial_evolutionary_algorithm,
+    two_step,
+)
+from .core.portfolio import portfolio_search
+from .core.annealing import SAConfig, indexed_simulated_annealing
+from .joins import (
+    brute_force_best,
+    brute_force_join,
+    count_exact_solutions,
+    pairwise_join_method,
+    rtree_join,
+    synchronous_traversal_join,
+    window_reduction_join,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # geometry
+    "Rect",
+    "SpatialPredicate",
+    "INTERSECTS",
+    "INSIDE",
+    "CONTAINS",
+    "NORTHEAST",
+    "SOUTHWEST",
+    "WithinDistance",
+    "predicate_from_name",
+    # index
+    "RStarTree",
+    "bulk_load",
+    "search",
+    "search_items",
+    "nearest_neighbors",
+    # data
+    "SpatialDataset",
+    "UNIT_WORKSPACE",
+    "uniform_dataset",
+    "gaussian_cluster_dataset",
+    "zipf_dataset",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    # query
+    "QueryGraph",
+    "ProblemInstance",
+    "hard_instance",
+    "planted_instance",
+    "expected_solutions",
+    "density_for_solutions",
+    "problem_size_bits",
+    # core
+    "Budget",
+    "QueryEvaluator",
+    "SolutionState",
+    "RunResult",
+    "ConvergenceTrace",
+    "find_best_value",
+    "ILSConfig",
+    "indexed_local_search",
+    "GILSConfig",
+    "guided_indexed_local_search",
+    "SEAConfig",
+    "SEAParameters",
+    "spatial_evolutionary_algorithm",
+    "IBBConfig",
+    "indexed_branch_and_bound",
+    "TwoStepResult",
+    "two_step",
+    "portfolio_search",
+    "SAConfig",
+    "indexed_simulated_annealing",
+    # joins
+    "brute_force_join",
+    "brute_force_best",
+    "count_exact_solutions",
+    "rtree_join",
+    "pairwise_join_method",
+    "synchronous_traversal_join",
+    "window_reduction_join",
+    "__version__",
+]

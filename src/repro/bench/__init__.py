@@ -1,0 +1,31 @@
+"""Experiment harness: drivers for every paper figure + table rendering."""
+
+from .reporting import format_series, format_table, write_csv
+from .runner import (
+    Fig10aConfig,
+    Fig10bConfig,
+    Fig10cConfig,
+    Fig11Config,
+    QUERY_BUILDERS,
+    default_heuristics,
+    run_fig10a,
+    run_fig10b,
+    run_fig10c,
+    run_fig11,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "write_csv",
+    "Fig10aConfig",
+    "run_fig10a",
+    "Fig10bConfig",
+    "run_fig10b",
+    "Fig10cConfig",
+    "run_fig10c",
+    "Fig11Config",
+    "run_fig11",
+    "QUERY_BUILDERS",
+    "default_heuristics",
+]

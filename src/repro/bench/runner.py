@@ -1,0 +1,290 @@
+"""Experiment drivers reproducing the paper's evaluation (§6).
+
+Each ``run_fig*`` function regenerates one figure of the paper as structured
+rows; ``benchmarks/bench_fig*.py`` and the CLI print them via
+:mod:`repro.bench.reporting`.  All drivers accept a *scale* below the paper's
+(smaller datasets, shorter time thresholds, fewer repetitions) because the
+substrate is interpreted Python rather than the authors' C on a Pentium III —
+``--paper-scale`` style settings are a matter of passing larger numbers.
+
+The experiment grid follows the paper exactly:
+
+* Figure 10a — best similarity vs number of variables (chains & cliques,
+  time threshold ``10·n`` seconds, density set for ``Sol = 1``);
+* Figure 10b — best similarity over time for ``n = 15``;
+* Figure 10c — best similarity vs expected number of solutions;
+* Figure 11 — time to retrieve the exact solution: IBB alone vs the
+  two-step ILS+IBB / SEA+IBB methods on clique queries.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core import (
+    Budget,
+    GILSConfig,
+    ILSConfig,
+    RunResult,
+    SEAConfig,
+    guided_indexed_local_search,
+    indexed_branch_and_bound,
+    indexed_local_search,
+    spatial_evolutionary_algorithm,
+    two_step,
+)
+from ..query import ProblemInstance, QueryGraph, hard_instance, planted_instance
+
+__all__ = [
+    "HeuristicRunner",
+    "default_heuristics",
+    "QUERY_BUILDERS",
+    "Fig10aConfig",
+    "run_fig10a",
+    "Fig10bConfig",
+    "run_fig10b",
+    "Fig10cConfig",
+    "run_fig10c",
+    "Fig11Config",
+    "run_fig11",
+]
+
+#: signature shared by all heuristic entry points
+HeuristicRunner = Callable[[ProblemInstance, Budget, int], RunResult]
+
+QUERY_BUILDERS: dict[str, Callable[[int], QueryGraph]] = {
+    "chain": QueryGraph.chain,
+    "clique": QueryGraph.clique,
+    "cycle": QueryGraph.cycle,
+    "star": QueryGraph.star,
+}
+
+
+def default_heuristics(
+    stop_on_exact: bool = True,
+) -> dict[str, HeuristicRunner]:
+    """The three algorithms compared throughout Figure 10."""
+    return {
+        "ILS": lambda instance, budget, seed: indexed_local_search(
+            instance, budget, seed, ILSConfig(stop_on_exact=stop_on_exact)
+        ),
+        "GILS": lambda instance, budget, seed: guided_indexed_local_search(
+            instance, budget, seed, GILSConfig(stop_on_exact=stop_on_exact)
+        ),
+        "SEA": lambda instance, budget, seed: spatial_evolutionary_algorithm(
+            instance, budget, seed, SEAConfig(stop_on_exact=stop_on_exact)
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 10a — similarity vs number of variables
+# ----------------------------------------------------------------------
+@dataclass
+class Fig10aConfig:
+    """Grid of experiment E1; paper values in comments."""
+
+    query_types: Sequence[str] = ("chain", "clique")
+    variable_counts: Sequence[int] = (5, 10, 15)  # paper: 5, 10, 15, 20, 25
+    cardinality: int = 2_000  # paper: 100_000
+    #: seconds of search per variable (paper: 10.0)
+    time_per_variable: float = 0.2
+    repetitions: int = 3  # paper: 100
+    seed: int = 0
+    heuristics: dict[str, HeuristicRunner] = field(default_factory=default_heuristics)
+
+
+def run_fig10a(config: Fig10aConfig) -> list[dict]:
+    """Rows: query type, n, density, mean similarity per algorithm."""
+    rows = []
+    for query_type in config.query_types:
+        build = QUERY_BUILDERS[query_type]
+        for num_variables in config.variable_counts:
+            instance = hard_instance(
+                build(num_variables),
+                config.cardinality,
+                seed=_instance_seed(config.seed, query_type, num_variables),
+            )
+            time_limit = config.time_per_variable * num_variables
+            row = {
+                "query": query_type,
+                "n": num_variables,
+                "density": instance.density,
+                "time_limit": time_limit,
+            }
+            for name, runner in config.heuristics.items():
+                similarities = [
+                    runner(
+                        instance, Budget.seconds(time_limit), config.seed + rep
+                    ).best_similarity
+                    for rep in range(config.repetitions)
+                ]
+                row[name] = statistics.fmean(similarities)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10b — similarity over time (n = 15)
+# ----------------------------------------------------------------------
+@dataclass
+class Fig10bConfig:
+    query_types: Sequence[str] = ("chain", "clique")
+    num_variables: int = 15
+    cardinality: int = 2_000
+    #: total run time per query type (paper: chains 40 s, cliques 120 s)
+    time_limits: dict[str, float] = field(
+        default_factory=lambda: {"chain": 4.0, "clique": 8.0}
+    )
+    #: number of sample points on the time axis
+    grid_points: int = 8
+    repetitions: int = 3
+    seed: int = 0
+    heuristics: dict[str, HeuristicRunner] = field(
+        default_factory=lambda: default_heuristics(stop_on_exact=False)
+    )
+
+
+def run_fig10b(config: Fig10bConfig) -> dict[str, dict]:
+    """Per query type: the time grid and each algorithm's mean staircase."""
+    output: dict[str, dict] = {}
+    for query_type in config.query_types:
+        build = QUERY_BUILDERS[query_type]
+        instance = hard_instance(
+            build(config.num_variables),
+            config.cardinality,
+            seed=_instance_seed(config.seed, query_type, config.num_variables),
+        )
+        time_limit = config.time_limits[query_type]
+        grid = [
+            time_limit * (index + 1) / config.grid_points
+            for index in range(config.grid_points)
+        ]
+        series: dict[str, list[float]] = {}
+        for name, runner in config.heuristics.items():
+            sampled = [
+                runner(
+                    instance, Budget.seconds(time_limit), config.seed + rep
+                ).trace.sample(grid)
+                for rep in range(config.repetitions)
+            ]
+            series[name] = [
+                statistics.fmean(run[index] for run in sampled)
+                for index in range(config.grid_points)
+            ]
+        output[query_type] = {"grid": grid, "series": series}
+    return output
+
+
+# ----------------------------------------------------------------------
+# Figure 10c — similarity vs expected number of solutions (n = 15)
+# ----------------------------------------------------------------------
+@dataclass
+class Fig10cConfig:
+    query_type: str = "clique"
+    num_variables: int = 15
+    cardinality: int = 2_000
+    expected_solutions: Sequence[float] = (1.0, 10.0, 1e2, 1e3, 1e4, 1e5)
+    time_limit: float = 3.0  # paper: 150 s (= 10·n)
+    repetitions: int = 3
+    seed: int = 0
+    heuristics: dict[str, HeuristicRunner] = field(default_factory=default_heuristics)
+
+
+def run_fig10c(config: Fig10cConfig) -> list[dict]:
+    """Rows: target Sol, density, mean similarity per algorithm."""
+    build = QUERY_BUILDERS[config.query_type]
+    rows = []
+    for target in config.expected_solutions:
+        instance = hard_instance(
+            build(config.num_variables),
+            config.cardinality,
+            seed=_instance_seed(config.seed, config.query_type, int(target)),
+            target_solutions=target,
+        )
+        row = {
+            "Sol": target,
+            "density": instance.density,
+        }
+        for name, runner in config.heuristics.items():
+            similarities = [
+                runner(
+                    instance, Budget.seconds(config.time_limit), config.seed + rep
+                ).best_similarity
+                for rep in range(config.repetitions)
+            ]
+            row[name] = statistics.fmean(similarities)
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — time to retrieve the exact solution
+# ----------------------------------------------------------------------
+@dataclass
+class Fig11Config:
+    """Two-step methods vs plain IBB on clique queries with a planted
+    exact solution (the paper uses instances whose actual solution count
+    is 1)."""
+
+    variable_counts: Sequence[int] = (3, 4, 5)  # paper: 5, 10, 15, 20, 25
+    cardinality: int = 400  # paper: 100_000
+    #: heuristic budgets (paper: ILS 1 s, SEA 10·n s)
+    ils_time: float = 0.25
+    sea_time_per_variable: float = 0.4
+    #: cap on each systematic search, seconds (the paper lets IBB run for
+    #: hours; a cap keeps benches bounded — capped runs report the cap)
+    ibb_time_cap: float = 60.0
+    repetitions: int = 3  # paper: 10
+    seed: int = 0
+
+
+def run_fig11(config: Fig11Config) -> list[dict]:
+    """Rows: n, mean seconds to exact solution for IBB / ILS+IBB / SEA+IBB."""
+    rows = []
+    for num_variables in config.variable_counts:
+        times: dict[str, list[float]] = {"IBB": [], "ILS+IBB": [], "SEA+IBB": []}
+        exact: dict[str, int] = {"IBB": 0, "ILS+IBB": 0, "SEA+IBB": 0}
+        for rep in range(config.repetitions):
+            instance = planted_instance(
+                QueryGraph.clique(num_variables),
+                config.cardinality,
+                seed=_instance_seed(config.seed + rep, "fig11", num_variables),
+            )
+            plain = indexed_branch_and_bound(
+                instance, budget=Budget.seconds(config.ibb_time_cap)
+            )
+            times["IBB"].append(plain.elapsed)
+            exact["IBB"] += plain.is_exact
+
+            for label, heuristic, heuristic_time in (
+                ("ILS+IBB", "ils", config.ils_time),
+                (
+                    "SEA+IBB",
+                    "sea",
+                    config.sea_time_per_variable * num_variables,
+                ),
+            ):
+                combined = two_step(
+                    instance,
+                    heuristic,
+                    heuristic_budget=Budget.seconds(heuristic_time),
+                    systematic_budget=Budget.seconds(config.ibb_time_cap),
+                    seed=config.seed + rep,
+                )
+                times[label].append(combined.total_elapsed)
+                exact[label] += combined.is_exact
+        row = {"n": num_variables}
+        for label in ("IBB", "ILS+IBB", "SEA+IBB"):
+            row[label] = statistics.fmean(times[label])
+            row[f"{label} exact"] = f"{exact[label]}/{config.repetitions}"
+        rows.append(row)
+    return rows
+
+
+def _instance_seed(base: int, tag: str, value: int) -> int:
+    """Stable per-cell instance seed derived from a human-readable tag."""
+    return random.Random(f"{base}/{tag}/{value}").randrange(2**31)

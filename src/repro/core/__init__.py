@@ -1,0 +1,52 @@
+"""The paper's contribution: approximate multiway spatial join processing.
+
+Heuristic (anytime) algorithms — ILS, GILS, SEA — plus the systematic IBB
+and the two-step combinations, all operating on R*-tree-indexed datasets.
+"""
+
+from .annealing import SAConfig, indexed_simulated_annealing
+from .best_value import BestValue, brute_force_best_value, find_best_value
+from .budget import Budget
+from .evaluator import QueryEvaluator
+from .gils import DEFAULT_LAMBDA_FACTOR, GILSConfig, guided_indexed_local_search
+from .ibb import IBBConfig, connectivity_order, indexed_branch_and_bound
+from .ils import ILSConfig, indexed_local_search
+from .penalties import PenaltyTable
+from .portfolio import DEFAULT_PORTFOLIO, portfolio_search
+from .result import ConvergenceTrace, RunResult, TracePoint
+from .sea import SEAConfig, greedy_keep_set, spatial_evolutionary_algorithm
+from .sea_params import SEAParameters
+from .solution import SolutionState
+from .two_step import HEURISTICS, TwoStepResult, two_step
+
+__all__ = [
+    "Budget",
+    "QueryEvaluator",
+    "SolutionState",
+    "BestValue",
+    "find_best_value",
+    "brute_force_best_value",
+    "ILSConfig",
+    "indexed_local_search",
+    "GILSConfig",
+    "guided_indexed_local_search",
+    "DEFAULT_LAMBDA_FACTOR",
+    "PenaltyTable",
+    "SEAConfig",
+    "SEAParameters",
+    "spatial_evolutionary_algorithm",
+    "greedy_keep_set",
+    "IBBConfig",
+    "indexed_branch_and_bound",
+    "connectivity_order",
+    "TwoStepResult",
+    "two_step",
+    "HEURISTICS",
+    "portfolio_search",
+    "DEFAULT_PORTFOLIO",
+    "SAConfig",
+    "indexed_simulated_annealing",
+    "RunResult",
+    "ConvergenceTrace",
+    "TracePoint",
+]

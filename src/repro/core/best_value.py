@@ -1,0 +1,215 @@
+"""*Find best value* — the multi-window branch-and-bound of Figure 5.
+
+Given the variable being re-instantiated, the current rectangles of its join
+partners act as query *windows*; the goal is the object in the variable's
+R*-tree that satisfies the most join conditions (intersects the most
+windows, for the default predicate).  The search descends the tree visiting
+entries in decreasing order of the number of windows they (may) satisfy and
+prunes any subtree whose count cannot strictly beat the best leaf score
+found so far — "if an intermediate node satisfies the same or a smaller
+number of conditions than maxConditions, it cannot contain any better
+solution and is not visited".
+
+This single routine powers all three heuristics:
+
+* **ILS** re-instantiates its worst variable with the result,
+* **GILS** does the same but scores leaves with the *effective* value
+  ``satisfied − λ·penalty`` (the intermediate-node bound stays admissible
+  because penalties are non-negative),
+* **SEA** uses it as its mutation operator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..geometry import Intersects, Rect, SpatialPredicate
+from ..index import RStarTree
+from ..index.node import Node
+
+__all__ = ["BestValue", "find_best_value", "brute_force_best_value"]
+
+
+class BestValue:
+    """Outcome of a successful search: the new object and its scores."""
+
+    __slots__ = ("item", "rect", "satisfied", "score")
+
+    def __init__(self, item: Any, rect: Rect, satisfied: int, score: float):
+        self.item = item
+        self.rect = rect
+        #: number of join conditions the object satisfies
+        self.satisfied = satisfied
+        #: effective score (``satisfied`` minus any penalty contribution)
+        self.score = score
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BestValue(item={self.item!r}, satisfied={self.satisfied}, "
+            f"score={self.score})"
+        )
+
+
+def find_best_value(
+    tree: RStarTree,
+    constraints: list[tuple[SpatialPredicate, Rect]],
+    floor_score: float,
+    penalty: Callable[[Any], float] | None = None,
+) -> BestValue | None:
+    """Best object of ``tree`` under the multi-window criterion.
+
+    Parameters
+    ----------
+    constraints:
+        ``(predicate, window)`` pairs: the join conditions incident to the
+        variable being re-instantiated, with predicates oriented
+        candidate→window.
+    floor_score:
+        Only results with ``score > floor_score`` are returned — callers
+        pass the current assignment's (effective) score, so ``None`` means
+        "no strictly better value exists" and the variable keeps its value.
+    penalty:
+        Optional GILS hook mapping an object id to its penalty contribution
+        ``λ·penalty(v←r)``; leaf scores become ``satisfied − penalty(item)``.
+
+    Returns ``None`` when no object beats ``floor_score`` (in particular
+    when ``constraints`` is empty, since no object can then improve
+    anything).
+    """
+    if not constraints:
+        return None
+    tree.stats.best_value_searches += 1
+    if tree.root.mbr is None:
+        return None
+    if all(type(predicate) is Intersects for predicate, _w in constraints):
+        # the paper's default condition: use the inlined hot path
+        return _find_best_value_intersects(tree, constraints, floor_score, penalty)
+    best: BestValue | None = None
+    best_score = floor_score
+    stats = tree.stats
+    pager = tree.pager
+
+    def descend(node: Node) -> None:
+        nonlocal best, best_score
+        stats.node_reads += 1
+        if pager is not None:
+            pager.access(id(node))
+        if node.is_leaf:
+            stats.leaf_reads += 1
+            scored: list[tuple[int, Rect, Any]] = []
+            for rect, item in node.entries():
+                satisfied = 0
+                for predicate, window in constraints:
+                    if predicate.test(rect, window):
+                        satisfied += 1
+                if satisfied > best_score:
+                    scored.append((satisfied, rect, item))
+            # visit high-count entries first so the bound tightens early
+            scored.sort(key=lambda entry: entry[0], reverse=True)
+            for satisfied, rect, item in scored:
+                if satisfied <= best_score:
+                    break  # sorted: the rest are no better
+                score = float(satisfied)
+                if penalty is not None:
+                    score -= penalty(item)
+                if score > best_score:
+                    best_score = score
+                    best = BestValue(item, rect, satisfied, score)
+            return
+        candidates: list[tuple[int, Node]] = []
+        for rect, child in node.entries():
+            may_satisfy = 0
+            for predicate, window in constraints:
+                if predicate.node_may_satisfy(rect, window):
+                    may_satisfy += 1
+            if may_satisfy > best_score:
+                candidates.append((may_satisfy, child))
+        candidates.sort(key=lambda entry: entry[0], reverse=True)
+        for may_satisfy, child in candidates:
+            # re-check: descending a sibling may have raised the bound
+            if may_satisfy > best_score:
+                descend(child)
+
+    descend(tree.root)
+    return best
+
+
+def _find_best_value_intersects(
+    tree: RStarTree,
+    constraints: list[tuple[SpatialPredicate, Rect]],
+    floor_score: float,
+    penalty: Callable[[Any], float] | None,
+) -> BestValue | None:
+    """Hot path of :func:`find_best_value` for all-``intersects`` queries.
+
+    Behaviourally identical to the generic search; the rectangle/window
+    tests are inlined on raw coordinates because for ``intersects`` the
+    leaf test and the intermediate-node admissible filter coincide (a child
+    can only intersect a window its parent's MBR intersects).
+    """
+    windows = [(w.xmin, w.ymin, w.xmax, w.ymax) for _p, w in constraints]
+    best: BestValue | None = None
+    best_score = floor_score
+    stats = tree.stats
+    pager = tree.pager
+
+    def descend(node: Node) -> None:
+        nonlocal best, best_score
+        stats.node_reads += 1
+        if pager is not None:
+            pager.access(id(node))
+        is_leaf = node.is_leaf
+        if is_leaf:
+            stats.leaf_reads += 1
+        scored: list[tuple[int, Rect, Any]] = []
+        for position, rect in enumerate(node.bounds):
+            xmin, ymin, xmax, ymax = rect
+            satisfied = 0
+            for wxmin, wymin, wxmax, wymax in windows:
+                if xmin <= wxmax and wxmin <= xmax and ymin <= wymax and wymin <= ymax:
+                    satisfied += 1
+            if satisfied > best_score:
+                scored.append((satisfied, rect, node.children[position]))
+        scored.sort(key=lambda entry: entry[0], reverse=True)
+        if is_leaf:
+            for satisfied, rect, item in scored:
+                if satisfied <= best_score:
+                    break
+                score = float(satisfied)
+                if penalty is not None:
+                    score -= penalty(item)
+                if score > best_score:
+                    best_score = score
+                    best = BestValue(item, rect, satisfied, score)
+        else:
+            for satisfied, _rect, child in scored:
+                if satisfied > best_score:
+                    descend(child)
+
+    descend(tree.root)
+    return best
+
+
+def brute_force_best_value(
+    rects: list[Rect],
+    constraints: list[tuple[SpatialPredicate, Rect]],
+    floor_score: float,
+    penalty: Callable[[Any], float] | None = None,
+) -> BestValue | None:
+    """Reference implementation scanning every object; the test oracle for
+    :func:`find_best_value` (identical contract, no index)."""
+    if not constraints:
+        return None
+    best: BestValue | None = None
+    best_score = floor_score
+    for item, rect in enumerate(rects):
+        satisfied = sum(
+            1 for predicate, window in constraints if predicate.test(rect, window)
+        )
+        score = float(satisfied)
+        if penalty is not None:
+            score -= penalty(item)
+        if score > best_score:
+            best_score = score
+            best = BestValue(item, rect, satisfied, score)
+    return best

@@ -1,0 +1,125 @@
+"""Processing budgets for anytime search.
+
+The paper's central premise is query processing *within a time limit* ("the
+retrieval of the best possible solutions within a time threshold").  Every
+anytime algorithm in :mod:`repro.core` therefore consumes a :class:`Budget`:
+
+* wall-clock limits reproduce the paper's ``10·n``-second thresholds,
+* iteration limits make unit tests and CI benchmarks deterministic,
+* an injectable ``clock`` lets tests simulate the passage of time.
+
+A ``Budget`` is single-use: it starts counting at the first
+:meth:`Budget.exhausted`/:meth:`Budget.start` call and cannot be restarted —
+create a fresh one per run (:meth:`Budget.spawn` copies the limits).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """A limit on wall-clock time and/or abstract iterations.
+
+    Parameters
+    ----------
+    time_limit:
+        Seconds of wall-clock time (``None`` = unlimited).
+    max_iterations:
+        Number of :meth:`tick` calls allowed (``None`` = unlimited).  What an
+        iteration means is algorithm-specific (ILS improvement attempts, SEA
+        generations, IBB node expansions) and documented per algorithm.
+    clock:
+        Monotonic time source; replace in tests to control time explicitly.
+    """
+
+    def __init__(
+        self,
+        time_limit: float | None = None,
+        max_iterations: int | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if time_limit is None and max_iterations is None:
+            raise ValueError("budget must limit at least one of time or iterations")
+        if time_limit is not None and time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {time_limit}")
+        if max_iterations is not None and max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        self.time_limit = time_limit
+        self.max_iterations = max_iterations
+        self._clock = clock
+        self._started_at: float | None = None
+        self._iterations = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def seconds(cls, limit: float, clock: Callable[[], float] = time.perf_counter) -> "Budget":
+        """A pure wall-clock budget (the paper's mode)."""
+        return cls(time_limit=limit, clock=clock)
+
+    @classmethod
+    def iterations(cls, limit: int) -> "Budget":
+        """A deterministic iteration budget (the testing mode)."""
+        return cls(max_iterations=limit)
+
+    def spawn(self) -> "Budget":
+        """A fresh, unstarted budget with the same limits."""
+        return Budget(self.time_limit, self.max_iterations, self._clock)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Budget":
+        """Begin counting time; idempotent.  Returns ``self`` for chaining."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    def tick(self, amount: int = 1) -> None:
+        """Record ``amount`` units of work."""
+        self._iterations += amount
+
+    def exhausted(self) -> bool:
+        """True once either limit is hit; starts the clock on first call."""
+        self.start()
+        if self.max_iterations is not None and self._iterations >= self.max_iterations:
+            return True
+        if self.time_limit is not None and self.elapsed() >= self.time_limit:
+            return True
+        return False
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 before starting)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    @property
+    def iterations_used(self) -> int:
+        return self._iterations
+
+    def progress(self) -> float:
+        """Fraction of the budget consumed, in ``[0, 1]``.
+
+        The maximum over the time and iteration fractions (whichever limit
+        is closer to exhaustion).  Annealing schedules use this to cool from
+        start to end of an arbitrary budget.
+        """
+        self.start()
+        fractions = [0.0]
+        if self.time_limit is not None:
+            fractions.append(self.elapsed() / self.time_limit)
+        if self.max_iterations is not None:
+            fractions.append(self._iterations / self.max_iterations)
+        return min(1.0, max(fractions))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Budget(time_limit={self.time_limit}, "
+            f"max_iterations={self.max_iterations}, used={self._iterations})"
+        )

@@ -1,0 +1,88 @@
+"""Query evaluation: violation counting over candidate solutions.
+
+Bridges the query model and the search algorithms: given a
+:class:`~repro.query.hardness.ProblemInstance`, the evaluator answers "how
+many join conditions does this tuple violate?" — the *inconsistency degree*
+that all of the paper's heuristics minimise — and produces the mutable
+:class:`~repro.core.solution.SolutionState` objects they climb on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geometry import Rect, SpatialPredicate
+from ..index import RStarTree
+from ..query import ProblemInstance
+from .solution import SolutionState
+
+__all__ = ["QueryEvaluator"]
+
+
+class QueryEvaluator:
+    """Precomputed adjacency + rectangle tables for fast violation counting."""
+
+    def __init__(self, instance: ProblemInstance):
+        if not instance.query.is_connected():
+            raise ValueError(
+                "disconnected query graphs are Cartesian products; "
+                "join each connected component separately"
+            )
+        self.instance = instance
+        self.query = instance.query
+        self.num_variables = instance.query.num_variables
+        self.num_constraints = instance.query.num_edges
+        #: rects[i][oid] — the MBR of object ``oid`` of dataset ``i``
+        self.rects: list[list[Rect]] = [dataset.rects for dataset in instance.datasets]
+        self.trees: list[RStarTree] = [dataset.tree for dataset in instance.datasets]
+        #: neighbors[i] — list of ``(j, predicate oriented from i)``
+        self.neighbors: list[list[tuple[int, SpatialPredicate]]] = [
+            sorted(instance.query.neighbors(i).items())
+            for i in range(self.num_variables)
+        ]
+        self.degrees = [len(adjacent) for adjacent in self.neighbors]
+
+    # ------------------------------------------------------------------
+    # pointwise checks
+    # ------------------------------------------------------------------
+    def pair_satisfied(self, i: int, object_i: int, j: int, object_j: int) -> bool:
+        """Does the join condition between ``i`` and ``j`` hold for these objects?"""
+        predicate = self.query.predicate(i, j)
+        return predicate.test(self.rects[i][object_i], self.rects[j][object_j])
+
+    def count_violations(self, values: list[int] | tuple[int, ...]) -> int:
+        """Inconsistency degree: number of violated join conditions."""
+        violations = 0
+        rects = self.rects
+        for i, j, predicate in self.query.edges():
+            if not predicate.test(rects[i][values[i]], rects[j][values[j]]):
+                violations += 1
+        return violations
+
+    def satisfied_counts(self, values: list[int] | tuple[int, ...]) -> list[int]:
+        """Per-variable count of *satisfied* incident join conditions."""
+        counts = [0] * self.num_variables
+        rects = self.rects
+        for i, j, predicate in self.query.edges():
+            if predicate.test(rects[i][values[i]], rects[j][values[j]]):
+                counts[i] += 1
+                counts[j] += 1
+        return counts
+
+    def similarity(self, violations: int) -> float:
+        """The paper's normalised measure: ``1 − violated / total``."""
+        return 1.0 - violations / self.num_constraints
+
+    # ------------------------------------------------------------------
+    # solution construction
+    # ------------------------------------------------------------------
+    def random_values(self, rng: random.Random) -> list[int]:
+        """A uniformly random assignment (the *seed* of local search)."""
+        return [rng.randrange(len(rects)) for rects in self.rects]
+
+    def make_state(self, values: list[int]) -> SolutionState:
+        """Wrap an assignment in an incrementally-maintained state."""
+        return SolutionState(self, list(values))
+
+    def random_state(self, rng: random.Random) -> SolutionState:
+        return self.make_state(self.random_values(rng))

@@ -1,0 +1,146 @@
+"""Guided Indexed Local Search (GILS) — §4 of the paper.
+
+GILS is ILS with a memory: it generates a *single* random seed and, instead
+of restarting at local maxima, punishes some of the maximum's assignments
+and keeps climbing with respect to the **effective inconsistency degree**
+(violations plus ``λ·Σ penalty``).  Consequences of the punishment rule:
+
+* the current local maximum's effective degree grows (sometimes repeatedly)
+  until a neighbour looks better — search performs controlled downhill
+  moves instead of restarting;
+* solutions sharing many assignments with visited maxima are avoided, which
+  steers search towards unexplored regions.
+
+The paper's λ is tiny (``10⁻¹⁰·s``), so penalties mostly act as
+tie-breakers that let search drift across plateaus — the regime where GILS
+beats ILS on large queries (n = 20, 25).  Comparisons on effective scores
+are therefore *strict* float comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..query import ProblemInstance
+from .best_value import find_best_value
+from .budget import Budget
+from .evaluator import QueryEvaluator
+from .penalties import PenaltyTable
+from .result import ConvergenceTrace, RunResult
+from .solution import SolutionState
+
+__all__ = ["GILSConfig", "guided_indexed_local_search", "DEFAULT_LAMBDA_FACTOR"]
+
+#: λ = DEFAULT_LAMBDA_FACTOR · s, with s the problem size in bits (§5).
+DEFAULT_LAMBDA_FACTOR = 1e-10
+
+
+@dataclass
+class GILSConfig:
+    """GILS knobs; ``lam=None`` applies the paper's ``λ = 10⁻¹⁰·s``."""
+
+    lam: float | None = None
+    stop_on_exact: bool = True
+
+    def resolve_lambda(self, instance: ProblemInstance) -> float:
+        if self.lam is not None:
+            if self.lam < 0:
+                raise ValueError(f"λ must be non-negative, got {self.lam}")
+            return self.lam
+        return DEFAULT_LAMBDA_FACTOR * instance.problem_size()
+
+
+def guided_indexed_local_search(
+    instance: ProblemInstance,
+    budget: Budget,
+    seed: int | random.Random = 0,
+    config: GILSConfig | None = None,
+    evaluator: QueryEvaluator | None = None,
+) -> RunResult:
+    """Run GILS within ``budget``; one iteration = one improvement attempt.
+
+    The incumbent is tracked by *actual* violations (penalties only guide
+    the walk, never the reported result).
+    """
+    config = config or GILSConfig()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    evaluator = evaluator or QueryEvaluator(instance)
+    penalties = PenaltyTable(config.resolve_lambda(instance))
+    budget.start()
+
+    trace = ConvergenceTrace()
+    state = evaluator.random_state(rng)
+    best_values = state.as_tuple()
+    best_violations = state.violations
+    trace.record(budget.elapsed(), 0, best_violations, state.similarity)
+    iterations = 0
+    local_maxima = 0
+
+    def note_if_best(current: SolutionState) -> None:
+        nonlocal best_values, best_violations
+        if current.violations < best_violations:
+            best_violations = current.violations
+            best_values = current.as_tuple()
+            trace.record(
+                budget.elapsed(), iterations, best_violations, current.similarity
+            )
+
+    done = config.stop_on_exact and state.is_exact
+    while not done and not budget.exhausted():
+        improved = _improve_once_effective(state, evaluator, penalties)
+        iterations += 1
+        budget.tick()
+        if improved:
+            note_if_best(state)
+            if config.stop_on_exact and state.is_exact:
+                break
+        else:
+            # local maximum w.r.t. the effective inconsistency degree
+            local_maxima += 1
+            penalties.punish_minimum(state.values)
+
+    return RunResult(
+        algorithm="GILS",
+        best_assignment=best_values,
+        best_violations=best_violations,
+        best_similarity=evaluator.similarity(best_violations),
+        elapsed=budget.elapsed(),
+        iterations=iterations,
+        milestones=local_maxima,
+        trace=trace,
+        stats={
+            "local_maxima": local_maxima,
+            "penalties_issued": penalties.total_issued,
+            "penalised_assignments": len(penalties),
+            "lambda": penalties.lam,
+        },
+    )
+
+
+def _improve_once_effective(
+    state: SolutionState, evaluator: QueryEvaluator, penalties: PenaltyTable
+) -> bool:
+    """One GILS step: strictly improve some variable's *effective* score.
+
+    The effective score of assignment ``v ← r`` is
+    ``satisfied(v) − λ·penalty(v ← r)``; raising it by any amount lowers the
+    solution's effective inconsistency degree.
+    """
+    for variable in state.worst_variable_order():
+        floor = float(state.sat[variable]) - penalties.weighted(
+            variable, state.values[variable]
+        )
+        constraints = state.constraint_windows(variable)
+        if not constraints:
+            continue
+        found = find_best_value(
+            evaluator.trees[variable],
+            constraints,
+            floor_score=floor,
+            penalty=lambda item, _v=variable: penalties.weighted(_v, item),
+        )
+        if found is not None:
+            state.set_value(variable, found.item)
+            return True
+    return False

@@ -1,0 +1,177 @@
+"""Indexed Local Search (ILS) — §3 of the paper.
+
+Restart hill climbing where the uphill move is computed by the R*-tree:
+
+1. start from a random *seed* solution,
+2. repeatedly pick the **worst variable** (most violated conditions; ties by
+   fewest satisfied) and re-instantiate it with the object returned by
+   ``find_best_value``; if the worst variable cannot be strictly improved,
+   try the second worst, and so on,
+3. when no variable can be improved the solution is a **local maximum**:
+   remember it if it is the best seen, then restart from a fresh seed,
+4. stop when the budget is exhausted (or an exact solution is found and
+   ``stop_on_exact`` is set), returning the best solution ever visited.
+
+The ``use_index=False`` mode replaces ``find_best_value`` with the random
+re-instantiation of [PMK+99] — the ablation the paper credits for much of
+its advantage ("we use indexes to re-assign the worst variable with the best
+value in its domain, while in [PMK+99] variables were re-assigned with
+random values").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..query import ProblemInstance
+from .best_value import find_best_value
+from .budget import Budget
+from .evaluator import QueryEvaluator
+from .result import ConvergenceTrace, RunResult
+from .solution import SolutionState
+
+__all__ = ["ILSConfig", "indexed_local_search"]
+
+
+@dataclass
+class ILSConfig:
+    """Tuning knobs of ILS (the algorithm itself is parameter-free).
+
+    ``use_index=False`` enables the [PMK+99]-style ablation: each
+    improvement attempt draws ``random_tries`` random candidate values for
+    the variable and keeps the best one that strictly improves it.
+    """
+
+    use_index: bool = True
+    random_tries: int = 8
+    stop_on_exact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.random_tries < 1:
+            raise ValueError(f"random_tries must be >= 1, got {self.random_tries}")
+
+
+def indexed_local_search(
+    instance: ProblemInstance,
+    budget: Budget,
+    seed: int | random.Random = 0,
+    config: ILSConfig | None = None,
+    evaluator: QueryEvaluator | None = None,
+) -> RunResult:
+    """Run ILS within ``budget``; one budget *iteration* = one improvement
+    attempt (one ``find_best_value`` call or random-sample round)."""
+    config = config or ILSConfig()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    evaluator = evaluator or QueryEvaluator(instance)
+    budget.start()
+
+    trace = ConvergenceTrace()
+    best_values: tuple[int, ...] | None = None
+    best_violations = evaluator.num_constraints + 1
+    local_maxima = 0
+    iterations = 0
+
+    def note_if_best(state: SolutionState) -> None:
+        nonlocal best_values, best_violations
+        if state.violations < best_violations:
+            best_violations = state.violations
+            best_values = state.as_tuple()
+            trace.record(
+                budget.elapsed(), iterations, best_violations, state.similarity
+            )
+
+    done = False
+    while not done and not budget.exhausted():
+        state = evaluator.random_state(rng)
+        note_if_best(state)
+        # climb to a local maximum
+        while not done:
+            improved = _improve_once(state, evaluator, config, rng)
+            iterations += 1
+            budget.tick()
+            if improved:
+                note_if_best(state)
+                if config.stop_on_exact and state.is_exact:
+                    done = True
+            else:
+                local_maxima += 1
+                break
+            if budget.exhausted():
+                done = True
+
+    return RunResult(
+        algorithm="ILS" if config.use_index else "LS-random",
+        best_assignment=best_values if best_values is not None else (),
+        best_violations=best_violations,
+        best_similarity=evaluator.similarity(best_violations),
+        elapsed=budget.elapsed(),
+        iterations=iterations,
+        milestones=local_maxima,
+        trace=trace,
+        stats={"local_maxima": local_maxima},
+    )
+
+
+def _improve_once(
+    state: SolutionState,
+    evaluator: QueryEvaluator,
+    config: ILSConfig,
+    rng: random.Random,
+) -> bool:
+    """One ILS step: strictly improve some variable, worst-first.
+
+    Returns ``False`` when no variable can be improved, i.e. the state is a
+    local maximum.
+    """
+    for variable in state.worst_variable_order():
+        if state.violated_count(variable) == 0:
+            # variables are worst-first: the rest satisfy everything already
+            break
+        if config.use_index:
+            if _improve_with_index(state, evaluator, variable):
+                return True
+        else:
+            if _improve_with_random_tries(state, evaluator, variable, config, rng):
+                return True
+    return False
+
+
+def _improve_with_index(
+    state: SolutionState, evaluator: QueryEvaluator, variable: int
+) -> bool:
+    constraints = state.constraint_windows(variable)
+    found = find_best_value(
+        evaluator.trees[variable], constraints, floor_score=float(state.sat[variable])
+    )
+    if found is None:
+        return False
+    state.set_value(variable, found.item)
+    return True
+
+
+def _improve_with_random_tries(
+    state: SolutionState,
+    evaluator: QueryEvaluator,
+    variable: int,
+    config: ILSConfig,
+    rng: random.Random,
+) -> bool:
+    """[PMK+99]-style move: sample random values, keep the best improving one."""
+    rects = evaluator.rects[variable]
+    constraints = state.constraint_windows(variable)
+    best_satisfied = state.sat[variable]
+    best_candidate: int | None = None
+    for _ in range(config.random_tries):
+        candidate = rng.randrange(len(rects))
+        rect = rects[candidate]
+        satisfied = sum(
+            1 for predicate, window in constraints if predicate.test(rect, window)
+        )
+        if satisfied > best_satisfied:
+            best_satisfied = satisfied
+            best_candidate = candidate
+    if best_candidate is None:
+        return False
+    state.set_value(variable, best_candidate)
+    return True

@@ -1,0 +1,70 @@
+"""Penalty memory for Guided Indexed Local Search (§4).
+
+GILS records, for each assignment ``v_i ← r`` seen at a local maximum, an
+integer penalty.  Penalties enter similarity comparisons through the
+*effective inconsistency degree*::
+
+    effective(S) = violations(S) + λ · Σ_i penalty(v_i ← r_i)
+
+The paper stores penalties in an ``n × N`` array for small problems and a
+hash table for large ones, noting the array is very sparse.  A dict keyed by
+``(variable, object_id)`` is exactly that hash table and is the only variant
+needed in Python (missing keys read as 0).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PenaltyTable"]
+
+
+class PenaltyTable:
+    """Sparse ``(variable, object_id) → penalty`` map with λ weighting."""
+
+    def __init__(self, lam: float):
+        if lam < 0:
+            raise ValueError(f"penalty weight λ must be non-negative, got {lam}")
+        self.lam = lam
+        self._penalties: dict[tuple[int, int], int] = {}
+        #: total number of +1 punishments issued (reported in run stats)
+        self.total_issued = 0
+
+    def get(self, variable: int, object_id: int) -> int:
+        """Raw integer penalty of one assignment (0 when never punished)."""
+        return self._penalties.get((variable, object_id), 0)
+
+    def weighted(self, variable: int, object_id: int) -> float:
+        """``λ · penalty`` — the term entering effective scores."""
+        penalty = self._penalties.get((variable, object_id), 0)
+        return self.lam * penalty if penalty else 0.0
+
+    def weighted_total(self, values: list[int] | tuple[int, ...]) -> float:
+        """``λ · Σ penalty(v_i ← values[i])`` over a whole solution."""
+        total = 0
+        for variable, object_id in enumerate(values):
+            total += self._penalties.get((variable, object_id), 0)
+        return self.lam * total
+
+    def punish_minimum(self, values: list[int] | tuple[int, ...]) -> list[int]:
+        """Apply the paper's punishment rule at a local maximum.
+
+        Among the solution's assignments, those currently holding the
+        *minimum* penalty each get +1 ("in order to avoid over-punishing"
+        assignments already penalised at earlier maxima).  Returns the list
+        of punished variables, mainly for tests and diagnostics.
+        """
+        current = [
+            self._penalties.get((variable, object_id), 0)
+            for variable, object_id in enumerate(values)
+        ]
+        minimum = min(current)
+        punished = []
+        for variable, object_id in enumerate(values):
+            if current[variable] == minimum:
+                self._penalties[(variable, object_id)] = minimum + 1
+                self.total_issued += 1
+                punished.append(variable)
+        return punished
+
+    def __len__(self) -> int:
+        """Number of distinct assignments ever punished."""
+        return len(self._penalties)

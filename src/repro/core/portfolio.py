@@ -1,0 +1,117 @@
+"""Heuristic portfolios (§7: "several heuristics could be combined").
+
+The paper observes that ILS/GILS dominate under very tight budgets while
+SEA wins given room to converge (Figure 10b), and suggests combining
+heuristics.  :func:`portfolio_search` packages the obvious combination:
+split the budget across several heuristics, run them in sequence on the
+same instance, and return the best solution any of them found — with the
+convergence traces merged so the result still reads like a single anytime
+run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..query import ProblemInstance
+from .budget import Budget
+from .evaluator import QueryEvaluator
+from .result import ConvergenceTrace, RunResult
+from .two_step import HEURISTICS
+
+__all__ = ["portfolio_search", "DEFAULT_PORTFOLIO"]
+
+#: tight-budget specialist first, then the strongest converger
+DEFAULT_PORTFOLIO = ("ils", "sea")
+
+
+def portfolio_search(
+    instance: ProblemInstance,
+    budget: Budget,
+    seed: int | random.Random = 0,
+    heuristics: Sequence[str] = DEFAULT_PORTFOLIO,
+    shares: Sequence[float] | None = None,
+    evaluator: QueryEvaluator | None = None,
+) -> RunResult:
+    """Run several heuristics on shares of one budget; keep the best.
+
+    Parameters
+    ----------
+    heuristics:
+        Names from :data:`repro.core.two_step.HEURISTICS` (``ils``,
+        ``gils``, ``sea``), executed in order.
+    shares:
+        Budget fractions per heuristic (normalised; default equal split).
+        Only meaningful for time budgets; iteration budgets are split the
+        same way on iteration counts.
+
+    Returns a single :class:`RunResult` labelled ``portfolio(...)`` whose
+    trace concatenates the member traces on a common clock.
+    """
+    if not heuristics:
+        raise ValueError("portfolio needs at least one heuristic")
+    unknown = [name for name in heuristics if name not in HEURISTICS]
+    if unknown:
+        known = ", ".join(sorted(HEURISTICS))
+        raise ValueError(f"unknown heuristics {unknown}; known: {known}")
+    if shares is None:
+        shares = [1.0] * len(heuristics)
+    if len(shares) != len(heuristics):
+        raise ValueError(
+            f"{len(heuristics)} heuristics but {len(shares)} shares"
+        )
+    if any(share <= 0 for share in shares):
+        raise ValueError(f"shares must be positive, got {list(shares)}")
+    total_share = sum(shares)
+
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    evaluator = evaluator or QueryEvaluator(instance)
+
+    best: RunResult | None = None
+    merged_trace = ConvergenceTrace()
+    elapsed = 0.0
+    iterations = 0
+    member_summaries = []
+    for name, share in zip(heuristics, shares):
+        fraction = share / total_share
+        member_budget = Budget(
+            time_limit=(
+                budget.time_limit * fraction if budget.time_limit else None
+            ),
+            max_iterations=(
+                max(1, int(budget.max_iterations * fraction))
+                if budget.max_iterations
+                else None
+            ),
+            clock=budget._clock,
+        )
+        result = HEURISTICS[name](instance, member_budget, rng, evaluator)
+        member_summaries.append(result.summary())
+        for point in result.trace.points:
+            if best is None or point.violations < best.best_violations:
+                merged_trace.record(
+                    elapsed + point.elapsed,
+                    iterations + point.iterations,
+                    point.violations,
+                    point.similarity,
+                )
+        if best is None or result.best_violations < best.best_violations:
+            best = result
+        elapsed += result.elapsed
+        iterations += result.iterations
+        if best.best_violations == 0:
+            break
+
+    assert best is not None
+    return RunResult(
+        algorithm=f"portfolio({'+'.join(heuristics)})",
+        best_assignment=best.best_assignment,
+        best_violations=best.best_violations,
+        best_similarity=best.best_similarity,
+        elapsed=elapsed,
+        iterations=iterations,
+        milestones=len(member_summaries),
+        trace=merged_trace,
+        stats={"members": member_summaries},
+    )

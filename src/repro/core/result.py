@@ -1,0 +1,93 @@
+"""Results and convergence traces of search runs.
+
+The paper reports two views of a run: the final best similarity (Figures
+10a, 10c) and the best similarity *as a function of time* (Figure 10b).
+:class:`RunResult` carries both — the trace records a point every time the
+incumbent improves, which is exactly the staircase Figure 10b plots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TracePoint", "ConvergenceTrace", "RunResult"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One improvement of the incumbent solution."""
+
+    elapsed: float
+    iterations: int
+    violations: int
+    similarity: float
+
+
+class ConvergenceTrace:
+    """Append-only record of incumbent improvements during one run."""
+
+    def __init__(self) -> None:
+        self._points: list[TracePoint] = []
+
+    def record(
+        self, elapsed: float, iterations: int, violations: int, similarity: float
+    ) -> None:
+        self._points.append(TracePoint(elapsed, iterations, violations, similarity))
+
+    @property
+    def points(self) -> list[TracePoint]:
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def similarity_at(self, elapsed: float) -> float:
+        """Best similarity achieved by time ``elapsed`` (0.0 before any point).
+
+        This turns the trace into the monotone staircase of Figure 10b and
+        lets the harness sample all runs on a common time grid.
+        """
+        times = [point.elapsed for point in self._points]
+        position = bisect.bisect_right(times, elapsed)
+        if position == 0:
+            return 0.0
+        return self._points[position - 1].similarity
+
+    def sample(self, grid: Sequence[float]) -> list[float]:
+        """Similarity staircase sampled at every instant of ``grid``."""
+        return [self.similarity_at(t) for t in grid]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one algorithm execution on one problem instance."""
+
+    algorithm: str
+    best_assignment: tuple[int, ...]
+    best_violations: int
+    best_similarity: float
+    elapsed: float
+    #: algorithm-specific work units performed (see each algorithm's docs)
+    iterations: int
+    #: local maxima visited (ILS/GILS) or generations evolved (SEA) or
+    #: search-tree nodes expanded (IBB)
+    milestones: int = 0
+    trace: ConvergenceTrace = field(default_factory=ConvergenceTrace)
+    #: free-form counters (index node reads, restarts, penalties issued, ...)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the best solution violates no join condition."""
+        return self.best_violations == 0
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by the CLI and examples."""
+        kind = "exact" if self.is_exact else "approximate"
+        return (
+            f"{self.algorithm}: similarity={self.best_similarity:.4f} "
+            f"({kind}, {self.best_violations} violated), "
+            f"{self.elapsed:.2f}s, {self.iterations} iterations"
+        )

@@ -1,0 +1,93 @@
+"""SEA parameter schedule (§5).
+
+SEA involves interrelated parameters; the paper tunes them as functions of
+the **problem size** ``s = log₂ Π Nᵢ`` (bits to encode one solution,
+[CFG+98]) so that one setting works across query graphs and dataset sizes::
+
+    T   = 0.05 · s        tournament size
+    μ_c = 0.6             crossover rate
+    g_c = 10 · s          generations between crossover-point increments
+    μ_m = 1               mutation rate
+    p   = 100 · s         population size
+
+Those values were chosen for a C implementation running for 10·n seconds;
+pure Python gets through far fewer generations, so :meth:`SEAParameters.scaled`
+shrinks the population (and ``g_c`` with it, to preserve the crossover-point
+schedule relative to the generation count) — the paper's own §7 suggestion
+that "the number of solutions p in the initial population may be reduced for
+very-limited-time cases, in order to achieve fast convergence".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SEAParameters"]
+
+
+@dataclass
+class SEAParameters:
+    """Concrete parameter values for one SEA run."""
+
+    population: int
+    tournament: int
+    crossover_rate: float = 0.6
+    mutation_rate: float = 1.0
+    #: generations between increments of the crossover point c
+    crossover_point_interval: int = 10
+    #: 'greedy' = the paper's structure-aware splitting, 'random' = the
+    #: [PMK+99]-style single-point ablation
+    crossover_kind: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(f"population must be >= 2, got {self.population}")
+        if not 1 <= self.tournament < self.population:
+            raise ValueError(
+                f"tournament must be in [1, population), got {self.tournament}"
+            )
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError(f"crossover_rate must be in [0,1], got {self.crossover_rate}")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate must be in [0,1], got {self.mutation_rate}")
+        if self.crossover_point_interval < 1:
+            raise ValueError(
+                f"crossover_point_interval must be >= 1, "
+                f"got {self.crossover_point_interval}"
+            )
+        if self.crossover_kind not in ("greedy", "random"):
+            raise ValueError(
+                f"crossover_kind must be 'greedy' or 'random', "
+                f"got {self.crossover_kind!r}"
+            )
+
+    @classmethod
+    def from_problem_size(cls, problem_size: float, scale: float = 1.0) -> "SEAParameters":
+        """The paper's schedule, optionally shrunk by ``scale``.
+
+        ``scale=1`` gives the published values; smaller scales divide the
+        population and the crossover-point interval proportionally (floored
+        at useful minima) for time-constrained / interpreted-language runs.
+        """
+        if problem_size <= 0:
+            raise ValueError(f"problem_size must be positive, got {problem_size}")
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        population = max(8, round(100 * problem_size * scale))
+        tournament = max(1, min(population - 1, round(0.05 * problem_size)))
+        interval = max(1, round(10 * problem_size * scale))
+        return cls(
+            population=population,
+            tournament=tournament,
+            crossover_point_interval=interval,
+        )
+
+    def crossover_point(self, generation: int, num_variables: int) -> int:
+        """The crossover point ``c`` for a given generation.
+
+        Starts at 1 and increases every ``crossover_point_interval``
+        generations, capped at ``n − 1`` so crossover always exchanges at
+        least one assignment.
+        """
+        point = 1 + generation // self.crossover_point_interval
+        return min(point, num_variables - 1)

@@ -1,0 +1,33 @@
+"""Dataset substrate: synthetic generators, dataset container, persistence."""
+
+from .datasets import UNIT_WORKSPACE, SpatialDataset
+from .density import density_for_extent, density_of_rects, extent_for_density
+from .generators import (
+    gaussian_cluster_dataset,
+    gaussian_cluster_rects,
+    plant_clique_solution,
+    uniform_dataset,
+    uniform_rects,
+    zipf_dataset,
+    zipf_rects,
+)
+from .io import load_csv, load_npz, save_csv, save_npz
+
+__all__ = [
+    "SpatialDataset",
+    "UNIT_WORKSPACE",
+    "extent_for_density",
+    "density_for_extent",
+    "density_of_rects",
+    "uniform_rects",
+    "uniform_dataset",
+    "gaussian_cluster_rects",
+    "gaussian_cluster_dataset",
+    "zipf_rects",
+    "zipf_dataset",
+    "plant_clique_solution",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+]

@@ -1,0 +1,219 @@
+"""Synthetic dataset generators.
+
+The paper evaluates exclusively on synthetic uniform data (footnote 2: "to
+the best of our knowledge, there do not exist 5 or more real datasets
+covering the same area publicly available").  The central generator is
+:func:`uniform_dataset`, which produces ``N`` rectangles whose density is
+controlled exactly, so that the expected-solution formulas of
+:mod:`repro.query.selectivity` apply.
+
+Two extensions beyond the paper's setup are provided for the examples and
+robustness tests: gaussian-clustered data (the skewed case every spatial
+database paper worries about) and solution *planting* (used by the Figure 11
+benchmark to guarantee that an exact solution exists).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..geometry import Rect
+from .datasets import UNIT_WORKSPACE, SpatialDataset
+from .density import extent_for_density
+
+__all__ = [
+    "uniform_rects",
+    "uniform_dataset",
+    "gaussian_cluster_rects",
+    "gaussian_cluster_dataset",
+    "zipf_rects",
+    "zipf_dataset",
+    "plant_clique_solution",
+]
+
+
+def uniform_rects(
+    count: int,
+    density: float,
+    rng: random.Random,
+    workspace: Rect = UNIT_WORKSPACE,
+    extent_jitter: float = 0.0,
+) -> list[Rect]:
+    """``count`` square MBRs with uniform centers and exact average extent.
+
+    The per-dimension extent is ``|r| = sqrt(density / count)`` (unit
+    workspace; scaled for other workspaces).  With ``extent_jitter`` ``j``,
+    individual extents are drawn uniformly from ``[(1-j)·|r|, (1+j)·|r|]``,
+    keeping the mean at ``|r|``.
+
+    Centers are drawn over the full workspace, so rectangles may overhang the
+    border — this matches the uniform model behind the selectivity formulas,
+    which ignores boundary effects.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not 0.0 <= extent_jitter < 1.0:
+        raise ValueError(f"extent_jitter must be in [0, 1), got {extent_jitter}")
+    scale = (workspace.width * workspace.height) ** 0.5
+    base_extent = extent_for_density(count, density) * scale
+    rects = []
+    for _ in range(count):
+        if extent_jitter:
+            factor = rng.uniform(1.0 - extent_jitter, 1.0 + extent_jitter)
+        else:
+            factor = 1.0
+        extent = base_extent * factor
+        cx = rng.uniform(workspace.xmin, workspace.xmax)
+        cy = rng.uniform(workspace.ymin, workspace.ymax)
+        rects.append(Rect.from_center(cx, cy, extent, extent))
+    return rects
+
+
+def uniform_dataset(
+    count: int,
+    density: float,
+    rng: random.Random,
+    name: str = "uniform",
+    workspace: Rect = UNIT_WORKSPACE,
+    extent_jitter: float = 0.0,
+    max_entries: int | None = None,
+) -> SpatialDataset:
+    """A :class:`SpatialDataset` over :func:`uniform_rects` output."""
+    rects = uniform_rects(count, density, rng, workspace, extent_jitter)
+    return SpatialDataset(rects, name=name, workspace=workspace, max_entries=max_entries)
+
+
+def gaussian_cluster_rects(
+    count: int,
+    density: float,
+    rng: random.Random,
+    clusters: int = 8,
+    spread: float = 0.08,
+    workspace: Rect = UNIT_WORKSPACE,
+) -> list[Rect]:
+    """Skewed data: centers drawn from a mixture of gaussians.
+
+    Cluster centroids are uniform over the workspace; each object picks a
+    random centroid and offsets by ``N(0, spread²)`` per dimension (clamped
+    to the workspace).  Extents are set exactly as in :func:`uniform_rects`,
+    so the *density* knob keeps its meaning while spatial correlation rises.
+    """
+    if clusters <= 0:
+        raise ValueError(f"clusters must be positive, got {clusters}")
+    if spread <= 0:
+        raise ValueError(f"spread must be positive, got {spread}")
+    scale = (workspace.width * workspace.height) ** 0.5
+    extent = extent_for_density(count, density) * scale
+    centroids = [
+        (
+            rng.uniform(workspace.xmin, workspace.xmax),
+            rng.uniform(workspace.ymin, workspace.ymax),
+        )
+        for _ in range(clusters)
+    ]
+    rects = []
+    for _ in range(count):
+        centroid_x, centroid_y = centroids[rng.randrange(clusters)]
+        cx = min(max(rng.gauss(centroid_x, spread), workspace.xmin), workspace.xmax)
+        cy = min(max(rng.gauss(centroid_y, spread), workspace.ymin), workspace.ymax)
+        rects.append(Rect.from_center(cx, cy, extent, extent))
+    return rects
+
+
+def gaussian_cluster_dataset(
+    count: int,
+    density: float,
+    rng: random.Random,
+    clusters: int = 8,
+    spread: float = 0.08,
+    name: str = "clustered",
+    workspace: Rect = UNIT_WORKSPACE,
+) -> SpatialDataset:
+    """A :class:`SpatialDataset` over :func:`gaussian_cluster_rects` output."""
+    rects = gaussian_cluster_rects(count, density, rng, clusters, spread, workspace)
+    return SpatialDataset(rects, name=name, workspace=workspace)
+
+
+def zipf_rects(
+    count: int,
+    density: float,
+    rng: random.Random,
+    skew: float = 1.5,
+    workspace: Rect = UNIT_WORKSPACE,
+) -> list[Rect]:
+    """Rectangles with Zipf-distributed *areas* and uniform centers.
+
+    Real spatial data (parcels, buildings, administrative regions) mixes a
+    few very large objects with many small ones.  Object ``k`` (1-based,
+    random order) receives an area proportional to ``k^-skew``; areas are
+    then rescaled so the dataset's total density equals ``density`` exactly,
+    keeping the selectivity model's main knob meaningful on skewed data.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    weights = [1.0 / (rank**skew) for rank in range(1, count + 1)]
+    rng.shuffle(weights)
+    workspace_area = workspace.area()
+    total_weight = sum(weights)
+    rects = []
+    for weight in weights:
+        area = density * workspace_area * weight / total_weight
+        side = area**0.5
+        # mild aspect-ratio jitter: keep the area, vary the shape
+        aspect = rng.uniform(0.5, 2.0)
+        width = side * aspect**0.5
+        height = side / aspect**0.5
+        cx = rng.uniform(workspace.xmin, workspace.xmax)
+        cy = rng.uniform(workspace.ymin, workspace.ymax)
+        rects.append(Rect.from_center(cx, cy, width, height))
+    return rects
+
+
+def zipf_dataset(
+    count: int,
+    density: float,
+    rng: random.Random,
+    skew: float = 1.5,
+    name: str = "zipf",
+    workspace: Rect = UNIT_WORKSPACE,
+) -> SpatialDataset:
+    """A :class:`SpatialDataset` over :func:`zipf_rects` output."""
+    rects = zipf_rects(count, density, rng, skew, workspace)
+    return SpatialDataset(rects, name=name, workspace=workspace)
+
+
+def plant_clique_solution(
+    rect_lists: Sequence[list[Rect]],
+    rng: random.Random,
+    workspace: Rect = UNIT_WORKSPACE,
+) -> tuple[int, ...]:
+    """Overwrite one rectangle per dataset so they all share a common point.
+
+    Used to construct Figure 11 instances where an exact solution is
+    *guaranteed* to exist (the paper selects instances with exactly one exact
+    solution).  Each list in ``rect_lists`` is mutated in place: a random
+    object id per dataset is re-centred near a shared anchor point while
+    keeping its original extent, which preserves dataset density almost
+    exactly.  Returns the tuple of planted object ids — mutually overlapping
+    by construction, hence an exact solution of any query over these
+    datasets whose predicates are all ``intersects``.
+    """
+    if not rect_lists:
+        raise ValueError("need at least one dataset to plant a solution")
+    anchor_x = rng.uniform(workspace.xmin, workspace.xmax)
+    anchor_y = rng.uniform(workspace.ymin, workspace.ymax)
+    planted = []
+    for rects in rect_lists:
+        object_id = rng.randrange(len(rects))
+        original = rects[object_id]
+        # keep the extent, shift the center so the rect covers the anchor
+        jitter_x = rng.uniform(-original.width / 4, original.width / 4)
+        jitter_y = rng.uniform(-original.height / 4, original.height / 4)
+        rects[object_id] = Rect.from_center(
+            anchor_x + jitter_x, anchor_y + jitter_y, original.width, original.height
+        )
+        planted.append(object_id)
+    return tuple(planted)

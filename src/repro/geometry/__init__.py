@@ -1,0 +1,37 @@
+"""Geometric primitives: rectangles (MBRs) and spatial join predicates."""
+
+from .rect import EMPTY_BOUNDS, Rect, union_all
+from .predicates import (
+    CONTAINS,
+    INSIDE,
+    INTERSECTS,
+    NORTHEAST,
+    SOUTHWEST,
+    Contains,
+    Inside,
+    Intersects,
+    Northeast,
+    Southwest,
+    SpatialPredicate,
+    WithinDistance,
+    predicate_from_name,
+)
+
+__all__ = [
+    "Rect",
+    "union_all",
+    "EMPTY_BOUNDS",
+    "SpatialPredicate",
+    "Intersects",
+    "Inside",
+    "Contains",
+    "Northeast",
+    "Southwest",
+    "WithinDistance",
+    "INTERSECTS",
+    "INSIDE",
+    "CONTAINS",
+    "NORTHEAST",
+    "SOUTHWEST",
+    "predicate_from_name",
+]

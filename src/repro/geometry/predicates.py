@@ -1,0 +1,211 @@
+"""Spatial join predicates.
+
+The paper's experiments use the standard *overlap* (intersect, non-disjoint)
+join condition, but §7 notes the methods "are easily extensible to other
+spatial predicates, such as northeast, inside, near".  This module provides
+that extension point: a small algebra of binary predicates that the
+evaluator, ``find_best_value`` and the systematic algorithms consume
+uniformly.
+
+Each predicate answers two questions:
+
+* :meth:`SpatialPredicate.test` — does a candidate rectangle satisfy the
+  predicate against a *window* (the current rectangle of the other join
+  variable)?
+* :meth:`SpatialPredicate.node_may_satisfy` — could *any* rectangle stored
+  below an R-tree node (whose MBR is given) satisfy the predicate?  This is
+  the admissible filter that lets the branch-and-bound searches prune whole
+  subtrees, and it must never return ``False`` for a node that contains a
+  qualifying rectangle.
+
+Predicates can be asymmetric (``inside`` vs ``contains``); ``inverse()``
+returns the predicate seen from the other endpoint of the query edge, i.e.
+``p.test(a, b) == p.inverse().test(b, a)`` for all rectangles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .rect import Rect
+
+__all__ = [
+    "SpatialPredicate",
+    "Intersects",
+    "Inside",
+    "Contains",
+    "Northeast",
+    "Southwest",
+    "WithinDistance",
+    "INTERSECTS",
+    "INSIDE",
+    "CONTAINS",
+    "NORTHEAST",
+    "SOUTHWEST",
+    "predicate_from_name",
+]
+
+
+class SpatialPredicate(ABC):
+    """A binary spatial relation between a candidate rectangle and a window."""
+
+    #: short identifier used in reprs, query serialisation and the CLI
+    name: str = "abstract"
+
+    @abstractmethod
+    def test(self, rect: Rect, window: Rect) -> bool:
+        """True if ``rect`` stands in this relation to ``window``."""
+
+    @abstractmethod
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        """Admissible subtree filter: ``False`` only if *no* rectangle that
+        fits inside ``node_mbr`` can satisfy :meth:`test` against ``window``.
+        """
+
+    def inverse(self) -> "SpatialPredicate":
+        """The same relation read from the other endpoint of the edge."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class Intersects(SpatialPredicate):
+    """The paper's default *overlap* condition: rectangles are non-disjoint."""
+
+    name = "intersects"
+
+    def test(self, rect: Rect, window: Rect) -> bool:
+        return rect.intersects(window)
+
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        # A child can only intersect the window if its parent MBR does.
+        return node_mbr.intersects(window)
+
+
+class Inside(SpatialPredicate):
+    """Candidate lies entirely inside the window."""
+
+    name = "inside"
+
+    def test(self, rect: Rect, window: Rect) -> bool:
+        return window.contains(rect)
+
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        # Any qualifying child lies in window ∩ node_mbr, so that region
+        # must be non-empty.
+        return node_mbr.intersects(window)
+
+    def inverse(self) -> "SpatialPredicate":
+        return CONTAINS
+
+
+class Contains(SpatialPredicate):
+    """Candidate entirely covers the window."""
+
+    name = "contains"
+
+    def test(self, rect: Rect, window: Rect) -> bool:
+        return rect.contains(window)
+
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        # The child covers the window and the node MBR covers the child.
+        return node_mbr.contains(window)
+
+    def inverse(self) -> "SpatialPredicate":
+        return INSIDE
+
+
+class Northeast(SpatialPredicate):
+    """Candidate lies strictly to the north-east of the window.
+
+    Using the projection-based semantics of [ZSI01]: every point of the
+    candidate is right of the window's right edge and above its top edge.
+    """
+
+    name = "northeast"
+
+    def test(self, rect: Rect, window: Rect) -> bool:
+        return rect.xmin >= window.xmax and rect.ymin >= window.ymax
+
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        # A child with xmin >= window.xmax forces node.xmax >= window.xmax.
+        return node_mbr.xmax >= window.xmax and node_mbr.ymax >= window.ymax
+
+    def inverse(self) -> "SpatialPredicate":
+        return SOUTHWEST
+
+
+class Southwest(SpatialPredicate):
+    """Candidate lies strictly to the south-west of the window."""
+
+    name = "southwest"
+
+    def test(self, rect: Rect, window: Rect) -> bool:
+        return rect.xmax <= window.xmin and rect.ymax <= window.ymin
+
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        return node_mbr.xmin <= window.xmin and node_mbr.ymin <= window.ymin
+
+    def inverse(self) -> "SpatialPredicate":
+        return NORTHEAST
+
+
+class WithinDistance(SpatialPredicate):
+    """The *near* predicate: rectangles closer than ``distance`` apart."""
+
+    name = "within_distance"
+
+    def __init__(self, distance: float):
+        if distance < 0:
+            raise ValueError(f"negative distance: {distance}")
+        self.distance = float(distance)
+
+    def test(self, rect: Rect, window: Rect) -> bool:
+        return rect.min_distance(window) <= self.distance
+
+    def node_may_satisfy(self, node_mbr: Rect, window: Rect) -> bool:
+        return node_mbr.min_distance(window) <= self.distance
+
+    def __repr__(self) -> str:
+        return f"WithinDistance({self.distance!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WithinDistance) and other.distance == self.distance
+
+    def __hash__(self) -> int:
+        return hash((WithinDistance, self.distance))
+
+
+#: Shared stateless instances; ``WithinDistance`` is parameterised and has none.
+INTERSECTS = Intersects()
+INSIDE = Inside()
+CONTAINS = Contains()
+NORTHEAST = Northeast()
+SOUTHWEST = Southwest()
+
+_BY_NAME: dict[str, SpatialPredicate] = {
+    p.name: p for p in (INTERSECTS, INSIDE, CONTAINS, NORTHEAST, SOUTHWEST)
+}
+
+
+def predicate_from_name(name: str, distance: float | None = None) -> SpatialPredicate:
+    """Look up a predicate by its :attr:`~SpatialPredicate.name`.
+
+    ``within_distance`` additionally requires the ``distance`` parameter.
+    """
+    if name == WithinDistance.name:
+        if distance is None:
+            raise ValueError("within_distance requires a distance parameter")
+        return WithinDistance(distance)
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME) + [WithinDistance.name])
+        raise ValueError(f"unknown predicate {name!r}; known: {known}") from None

@@ -1,0 +1,195 @@
+"""Axis-aligned rectangles (minimum bounding rectangles).
+
+The whole library works on MBRs, following the common filter step of spatial
+query processing: datasets store one :class:`Rect` per object and all join
+predicates are evaluated on these rectangles.  Coordinates are plain floats in
+an arbitrary workspace; the synthetic generators in :mod:`repro.data` use the
+unit square ``[0, 1]²`` as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, NamedTuple
+
+__all__ = ["Rect", "union_all", "EMPTY_BOUNDS"]
+
+#: Bounds value representing "nothing": any union with it yields the operand.
+EMPTY_BOUNDS = (math.inf, math.inf, -math.inf, -math.inf)
+
+
+class Rect(NamedTuple):
+    """A closed axis-aligned rectangle ``[xmin, xmax] × [ymin, ymax]``.
+
+    ``Rect`` is a :class:`~typing.NamedTuple`, so it is immutable, hashable,
+    cheaply unpackable and has value equality — properties the search
+    algorithms rely on when caching assignments.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its center point and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError(f"negative extent: width={width}, height={height}")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return cls(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    @classmethod
+    def from_points(cls, points: Iterable[tuple[float, float]]) -> "Rect":
+        """Smallest rectangle enclosing all ``points`` (at least one)."""
+        xs, ys = zip(*points)
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    def validate(self) -> "Rect":
+        """Return ``self`` if well-formed, raise :class:`ValueError` otherwise."""
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"malformed rectangle: {self!r}")
+        if not all(math.isfinite(c) for c in self):
+            raise ValueError(f"non-finite coordinate in rectangle: {self!r}")
+        return self
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    def area(self) -> float:
+        """Area of the rectangle (0 for degenerate rectangles)."""
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half perimeter, the R*-tree split criterion of [BKSS90]."""
+        return self.width + self.height
+
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    # ------------------------------------------------------------------
+    # relations
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """True if the closed rectangles share at least one point.
+
+        This is the paper's standard join condition (*overlap*,
+        *non-disjoint*); rectangles touching only at an edge or corner count
+        as intersecting.
+        """
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside ``self`` (closed semantics)."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping region, or ``None`` when disjoint."""
+        xmin = max(self.xmin, other.xmin)
+        ymin = max(self.ymin, other.ymin)
+        xmax = min(self.xmax, other.xmax)
+        ymax = min(self.ymax, other.ymax)
+        if xmin > xmax or ymin > ymax:
+            return None
+        return Rect(xmin, ymin, xmax, ymax)
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap (0 when disjoint); avoids allocating a Rect."""
+        dx = min(self.xmax, other.xmax) - max(self.xmin, other.xmin)
+        if dx <= 0.0:
+            return 0.0
+        dy = min(self.ymax, other.ymax) - max(self.ymin, other.ymin)
+        if dy <= 0.0:
+            return 0.0
+        return dx * dy
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle enclosing both operands."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for ``self`` to also cover ``other``.
+
+        This is the classic R-tree *choose subtree* criterion.
+        """
+        dx = max(self.xmax, other.xmax) - min(self.xmin, other.xmin)
+        dy = max(self.ymax, other.ymax) - min(self.ymin, other.ymin)
+        return dx * dy - self.area()
+
+    def min_distance(self, other: "Rect") -> float:
+        """Euclidean distance between the closest points of two rectangles."""
+        dx = max(other.xmin - self.xmax, self.xmin - other.xmax, 0.0)
+        dy = max(other.ymin - self.ymax, self.ymin - other.ymax, 0.0)
+        return math.hypot(dx, dy)
+
+    def buffered(self, distance: float) -> "Rect":
+        """Rectangle expanded by ``distance`` on every side (Minkowski sum)."""
+        if distance < 0:
+            raise ValueError(f"negative buffer distance: {distance}")
+        return Rect(
+            self.xmin - distance,
+            self.ymin - distance,
+            self.xmax + distance,
+            self.ymax + distance,
+        )
+
+    def clipped(self, workspace: "Rect") -> "Rect":
+        """Rectangle clipped to ``workspace``; raises when fully outside."""
+        clip = self.intersection(workspace)
+        if clip is None:
+            raise ValueError(f"{self!r} lies outside workspace {workspace!r}")
+        return clip
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle enclosing every rectangle in ``rects``.
+
+    Raises :class:`ValueError` on an empty iterable, because there is no
+    meaningful empty rectangle in the closed-interval model used here.
+    """
+    iterator: Iterator[Rect] = iter(rects)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("union_all() of an empty iterable") from None
+    xmin, ymin, xmax, ymax = first
+    for rect in iterator:
+        if rect.xmin < xmin:
+            xmin = rect.xmin
+        if rect.ymin < ymin:
+            ymin = rect.ymin
+        if rect.xmax > xmax:
+            xmax = rect.xmax
+        if rect.ymax > ymax:
+            ymax = rect.ymax
+    return Rect(xmin, ymin, xmax, ymax)

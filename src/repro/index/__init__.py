@@ -1,0 +1,33 @@
+"""R*-tree index substrate: nodes, dynamic tree, bulk loading, queries."""
+
+from .node import Node
+from .rstar import DEFAULT_MAX_ENTRIES, RStarTree
+from .bulk import bulk_load, pack_nodes
+from .queries import (
+    count,
+    nearest_neighbors,
+    search,
+    search_items,
+    search_predicate,
+)
+from .stats import TreeStats
+from .buffer import BufferPool
+from .costmodel import LevelStats, predicted_node_accesses, tree_level_stats
+
+__all__ = [
+    "BufferPool",
+    "LevelStats",
+    "predicted_node_accesses",
+    "tree_level_stats",
+    "Node",
+    "RStarTree",
+    "DEFAULT_MAX_ENTRIES",
+    "bulk_load",
+    "pack_nodes",
+    "search",
+    "search_items",
+    "search_predicate",
+    "count",
+    "nearest_neighbors",
+    "TreeStats",
+]

@@ -1,0 +1,109 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+The paper's experiments build an R*-tree over each 10⁵-object dataset before
+running any join.  Constructing such trees by repeated insertion is O(N log N)
+with a large constant; STR packing [Leutenegger et al., ICDE 1997] builds a
+fully packed tree in two sorts and produces query performance comparable to a
+dynamically built R*-tree on uniform data — exactly the workload used here.
+
+The resulting tree is a regular :class:`~repro.index.rstar.RStarTree`: further
+inserts and deletes keep working on it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from ..geometry import Rect
+from .node import Node
+from .rstar import DEFAULT_MAX_ENTRIES, RStarTree
+
+__all__ = ["bulk_load", "pack_nodes"]
+
+
+def bulk_load(
+    entries: Sequence[tuple[Rect, Any]],
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    fill: float = 0.9,
+    min_fill: float = 0.4,
+) -> RStarTree:
+    """Build a packed R*-tree from ``(rect, item)`` pairs.
+
+    Parameters
+    ----------
+    fill:
+        Target node occupancy of the packed levels.  Values below 1.0 leave
+        headroom so that subsequent dynamic inserts do not immediately split
+        every node.
+    """
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill must be in (0, 1], got {fill}")
+    tree = RStarTree(max_entries=max_entries, min_fill=min_fill)
+    if not entries:
+        return tree
+    capacity = max(tree.min_entries, min(max_entries, int(round(fill * max_entries))))
+
+    level = 0
+    nodes = pack_nodes(list(entries), capacity, level)
+    while len(nodes) > 1:
+        level += 1
+        parent_entries: list[tuple[Rect, Any]] = []
+        for node in nodes:
+            assert node.mbr is not None
+            parent_entries.append((node.mbr, node))
+        nodes = pack_nodes(parent_entries, capacity, level)
+    tree.root = nodes[0]
+    tree.root.parent = None
+    tree._size = len(entries)
+    return tree
+
+
+def pack_nodes(
+    entries: list[tuple[Rect, Any]], capacity: int, level: int
+) -> list[Node]:
+    """Tile ``entries`` into nodes of ``capacity`` using the STR sweep.
+
+    Entries are sorted by x-center, cut into vertical slabs of
+    ``ceil(sqrt(P))`` runs (``P`` = number of nodes needed), and each slab is
+    sorted by y-center before being chopped into nodes.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    node_count = math.ceil(len(entries) / capacity)
+    slab_count = math.ceil(math.sqrt(node_count))
+    per_slab = slab_count * capacity
+
+    by_x = sorted(entries, key=lambda entry: entry[0].center()[0])
+    nodes: list[Node] = []
+    for slab_start in range(0, len(by_x), per_slab):
+        slab = by_x[slab_start: slab_start + per_slab]
+        slab.sort(key=lambda entry: entry[0].center()[1])
+        for node_start in range(0, len(slab), capacity):
+            chunk = slab[node_start: node_start + capacity]
+            node = Node(level=level)
+            for rect, child in chunk:
+                node.add(rect, child)
+            nodes.append(node)
+    return _rebalance_tail(nodes, capacity)
+
+
+def _rebalance_tail(nodes: list[Node], capacity: int) -> list[Node]:
+    """Ensure the final node is not pathologically small.
+
+    STR can leave a last node with a single entry; donate entries from its
+    predecessor so both hold at least ``capacity // 2`` (when possible).
+    """
+    if len(nodes) < 2:
+        return nodes
+    tail = nodes[-1]
+    prev = nodes[-2]
+    minimum = max(1, capacity // 2)
+    if len(tail) >= minimum:
+        return nodes
+    needed = minimum - len(tail)
+    moved_bounds = prev.bounds[-needed:]
+    moved_children = prev.children[-needed:]
+    prev.replace_entries(prev.bounds[:-needed], prev.children[:-needed])
+    tail.replace_entries(moved_bounds + tail.bounds, moved_children + tail.children)
+    return nodes

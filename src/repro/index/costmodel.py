@@ -1,0 +1,99 @@
+"""Analytical R-tree cost model [TSS98].
+
+The paper's hard-region generation leans on the selectivity analysis of
+Theodoridis, Stefanakis & Sellis; the same work gives a closed-form
+prediction for the cost of a window query against an R-tree, which this
+module implements so that experiments can sanity-check their measured node
+accesses against theory.
+
+For a tree whose level ``l`` (1 = leaf nodes) contains ``n_l`` nodes with
+average extents ``s_{l,x} × s_{l,y}``, a uniformly placed window of size
+``q_x × q_y`` in a unit workspace touches on average::
+
+    NA(q) = 1 + Σ_l  n_l · (s_{l,x} + q_x) · (s_{l,y} + q_y)
+
+(the ``1`` is the root, which is always read).  The per-level statistics
+are measured from the actual tree, so the model captures packing quality;
+the uniformity assumption is what makes it analytical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Rect
+from .node import Node
+from .rstar import RStarTree
+
+__all__ = ["LevelStats", "tree_level_stats", "predicted_node_accesses"]
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Aggregate geometry of one tree level (excluding the root)."""
+
+    level: int
+    node_count: int
+    avg_extent_x: float
+    avg_extent_y: float
+
+
+def tree_level_stats(tree: RStarTree) -> list[LevelStats]:
+    """Measured per-level node counts and average extents, root excluded.
+
+    The root is excluded because it is read unconditionally; levels are
+    reported bottom-up (leaves first), matching the summation in
+    :func:`predicted_node_accesses`.
+    """
+    per_level: dict[int, list[Rect]] = {}
+    stack: list[Node] = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node is not tree.root:
+            assert node.mbr is not None
+            per_level.setdefault(node.level, []).append(node.mbr)
+        if not node.is_leaf:
+            stack.extend(node.children)
+    stats = []
+    for level in sorted(per_level):
+        mbrs = per_level[level]
+        count = len(mbrs)
+        stats.append(
+            LevelStats(
+                level=level,
+                node_count=count,
+                avg_extent_x=sum(m.width for m in mbrs) / count,
+                avg_extent_y=sum(m.height for m in mbrs) / count,
+            )
+        )
+    return stats
+
+
+def predicted_node_accesses(
+    tree: RStarTree, window_width: float, window_height: float, workspace: Rect | None = None
+) -> float:
+    """Expected node reads of a uniformly-placed window query [TSS98].
+
+    ``workspace`` defaults to the tree's bounding rectangle.  Returns 1.0
+    (just the root) for an empty or single-node tree.
+    """
+    if window_width < 0 or window_height < 0:
+        raise ValueError(
+            f"negative window extent: {window_width} x {window_height}"
+        )
+    bounds = workspace or tree.bounds()
+    if bounds is None:
+        return 1.0
+    area = bounds.area()
+    if area <= 0:
+        raise ValueError(f"degenerate workspace: {bounds!r}")
+    # normalise window and node extents to a unit workspace
+    expected = 1.0
+    for level in tree_level_stats(tree):
+        overlap_probability = (
+            (level.avg_extent_x + window_width)
+            * (level.avg_extent_y + window_height)
+            / area
+        )
+        expected += level.node_count * min(1.0, overlap_probability)
+    return expected

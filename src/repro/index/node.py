@@ -1,0 +1,120 @@
+"""R-tree node structure shared by the dynamic R*-tree and the bulk loader.
+
+A node stores parallel lists ``bounds``/``children``:
+
+* leaf node (``level == 0``): ``bounds[i]`` is the MBR of a data object and
+  ``children[i]`` is the opaque item (the object id in this library),
+* internal node: ``children[i]`` is a child :class:`Node` and ``bounds[i]``
+  mirrors that child's MBR.
+
+Parallel lists keep the hot traversal loops (window queries and the
+``find_best_value`` branch-and-bound of the paper) tight: they iterate over
+``bounds`` without touching child objects until a bound qualifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..geometry import Rect, union_all
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One R-tree node; ``level`` 0 marks leaves, the root has the maximum."""
+
+    __slots__ = ("level", "bounds", "children", "parent", "mbr")
+
+    def __init__(self, level: int):
+        self.level = level
+        self.bounds: list[Rect] = []
+        self.children: list[Any] = []
+        self.parent: Node | None = None
+        #: cached union of ``bounds``; ``None`` while the node is empty
+        self.mbr: Rect | None = None
+
+    # ------------------------------------------------------------------
+    # basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def entries(self) -> Iterator[tuple[Rect, Any]]:
+        return zip(self.bounds, self.children)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, rect: Rect, child: Any) -> None:
+        """Append one entry and extend the cached MBR accordingly."""
+        self.bounds.append(rect)
+        self.children.append(child)
+        if isinstance(child, Node):
+            child.parent = self
+        self.mbr = rect if self.mbr is None else self.mbr.union(rect)
+
+    def remove_at(self, position: int) -> tuple[Rect, Any]:
+        """Remove and return the entry at ``position``; recomputes the MBR."""
+        rect = self.bounds.pop(position)
+        child = self.children.pop(position)
+        if isinstance(child, Node):
+            child.parent = None
+        self.recompute_mbr()
+        return rect, child
+
+    def replace_entries(self, bounds: list[Rect], children: list[Any]) -> None:
+        """Swap in a whole new entry list (used by splits and reinserts)."""
+        if len(bounds) != len(children):
+            raise ValueError("bounds/children length mismatch")
+        self.bounds = bounds
+        self.children = children
+        for child in children:
+            if isinstance(child, Node):
+                child.parent = self
+        self.recompute_mbr()
+
+    def recompute_mbr(self) -> None:
+        self.mbr = union_all(self.bounds) if self.bounds else None
+
+    def update_child_bound(self, child: "Node") -> None:
+        """Refresh the cached bound of ``child`` after it changed shape."""
+        position = self.children.index(child)
+        if child.mbr is None:
+            raise ValueError("child node has no MBR")
+        self.bounds[position] = child.mbr
+        self.recompute_mbr()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self, max_entries: int, min_entries: int, is_root: bool) -> None:
+        """Raise :class:`AssertionError` when structural invariants fail.
+
+        Used by tests and by :meth:`repro.index.rstar.RStarTree.validate`.
+        """
+        assert len(self.bounds) == len(self.children), "parallel lists diverged"
+        if is_root:
+            assert len(self) <= max_entries, "root overfull"
+        else:
+            assert min_entries <= len(self) <= max_entries, (
+                f"node fill {len(self)} outside [{min_entries}, {max_entries}]"
+            )
+        if self.bounds:
+            assert self.mbr == union_all(self.bounds), "stale cached MBR"
+        else:
+            assert self.mbr is None, "non-empty MBR on empty node"
+        if not self.is_leaf:
+            for rect, child in self.entries():
+                assert isinstance(child, Node), "non-node child in internal node"
+                assert child.parent is self, "broken parent pointer"
+                assert child.level == self.level - 1, "level discontinuity"
+                assert rect == child.mbr, "entry bound differs from child MBR"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "Leaf" if self.is_leaf else f"Internal(level={self.level})"
+        return f"<{kind} entries={len(self)} mbr={self.mbr}>"

@@ -1,0 +1,119 @@
+"""Read-only R-tree queries: window search, predicate search, k-NN.
+
+The heuristics of the paper issue two kinds of index reads:
+
+* plain window queries (``search`` / ``search_items``), used by Window
+  Reduction, IBB's candidate enumeration and the pairwise join baseline;
+* the specialised multi-window branch-and-bound ``find_best_value``
+  (implemented in :mod:`repro.core.best_value` because it is part of the
+  paper's contribution, not of the generic index substrate).
+
+All traversals update :class:`~repro.index.stats.TreeStats` on the tree so
+benchmarks can report node accesses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+from ..geometry import INTERSECTS, Rect, SpatialPredicate
+from .rstar import RStarTree
+
+__all__ = [
+    "search",
+    "search_items",
+    "count",
+    "search_predicate",
+    "nearest_neighbors",
+]
+
+
+def search(tree: RStarTree, window: Rect) -> Iterator[tuple[Rect, Any]]:
+    """Yield every ``(rect, item)`` whose rectangle intersects ``window``."""
+    return search_predicate(tree, INTERSECTS, window)
+
+
+def search_items(tree: RStarTree, window: Rect) -> Iterator[Any]:
+    """Like :func:`search` but yields only the stored items."""
+    for _rect, item in search(tree, window):
+        yield item
+
+
+def count(tree: RStarTree, window: Rect) -> int:
+    """Number of entries intersecting ``window``."""
+    return sum(1 for _ in search(tree, window))
+
+
+def search_predicate(
+    tree: RStarTree, predicate: SpatialPredicate, window: Rect
+) -> Iterator[tuple[Rect, Any]]:
+    """Yield entries satisfying ``predicate(entry_rect, window)``.
+
+    Subtrees are pruned with :meth:`SpatialPredicate.node_may_satisfy`,
+    which is exact for ``intersects`` and admissible (never losing results)
+    for the extended predicates.
+    """
+    stats = tree.stats
+    pager = tree.pager
+    stats.window_queries += 1
+    if tree.root.mbr is None:
+        return
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        stats.node_reads += 1
+        if pager is not None:
+            pager.access(id(node))
+        if node.is_leaf:
+            stats.leaf_reads += 1
+            for rect, item in node.entries():
+                if predicate.test(rect, window):
+                    yield rect, item
+        else:
+            for rect, child in node.entries():
+                if predicate.node_may_satisfy(rect, window):
+                    stack.append(child)
+
+
+def nearest_neighbors(
+    tree: RStarTree, x: float, y: float, k: int = 1
+) -> list[tuple[float, Rect, Any]]:
+    """The ``k`` entries closest to point ``(x, y)``.
+
+    Classic best-first search on min-distance [Hjaltason & Samet].  Returns
+    ``(distance, rect, item)`` triples in increasing distance order; fewer
+    than ``k`` when the tree is smaller.  Included because nearest-neighbour
+    search is the standard competitor technique discussed in the paper's
+    related work ([PF97]) and it exercises the same node machinery.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if tree.root.mbr is None:
+        return []
+    point = Rect(x, y, x, y)
+    stats = tree.stats
+    results: list[tuple[float, Rect, Any]] = []
+    counter = 0  # heap tie-breaker; Rects are comparable but nodes are not
+    heap: list[tuple[float, int, Any, Rect | None]] = [
+        (tree.root.mbr.min_distance(point), counter, tree.root, None)
+    ]
+    while heap and len(results) < k:
+        distance, _tie, payload, rect = heapq.heappop(heap)
+        if rect is not None:
+            results.append((distance, rect, payload))
+            continue
+        node = payload
+        stats.node_reads += 1
+        if tree.pager is not None:
+            tree.pager.access(id(node))
+        if node.is_leaf:
+            stats.leaf_reads += 1
+        for bound, child in node.entries():
+            counter += 1
+            entry_distance = bound.min_distance(point)
+            if node.is_leaf:
+                heapq.heappush(heap, (entry_distance, counter, child, bound))
+            else:
+                heapq.heappush(heap, (entry_distance, counter, child, None))
+    return results

@@ -1,0 +1,48 @@
+"""Access-counting instrumentation for R-trees.
+
+The paper's systematic-search literature measures cost in node (page)
+accesses; the benchmark harness uses these counters to report index work per
+algorithm in addition to wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TreeStats"]
+
+
+@dataclass
+class TreeStats:
+    """Cumulative access counters for one tree; reset with :meth:`reset`."""
+
+    #: nodes visited by any traversal (window queries, best-value search, ...)
+    node_reads: int = 0
+    #: subset of ``node_reads`` that were leaves
+    leaf_reads: int = 0
+    #: number of window queries issued
+    window_queries: int = 0
+    #: number of ``find_best_value`` style branch-and-bound searches issued
+    best_value_searches: int = 0
+    #: structural writes (splits + forced reinsert rounds)
+    splits: int = 0
+    reinserts: int = 0
+
+    def reset(self) -> None:
+        self.node_reads = 0
+        self.leaf_reads = 0
+        self.window_queries = 0
+        self.best_value_searches = 0
+        self.splits = 0
+        self.reinserts = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy, convenient for benchmark reporting."""
+        return {
+            "node_reads": self.node_reads,
+            "leaf_reads": self.leaf_reads,
+            "window_queries": self.window_queries,
+            "best_value_searches": self.best_value_searches,
+            "splits": self.splits,
+            "reinserts": self.reinserts,
+        }

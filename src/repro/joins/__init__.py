@@ -1,0 +1,17 @@
+"""Exact multiway join baselines: brute force, WR, ST, pairwise/PJM."""
+
+from .brute import brute_force_best, brute_force_join, count_exact_solutions
+from .pairwise import rtree_join
+from .pjm import pairwise_join_method
+from .st import synchronous_traversal_join
+from .wr import window_reduction_join
+
+__all__ = [
+    "brute_force_join",
+    "brute_force_best",
+    "count_exact_solutions",
+    "rtree_join",
+    "pairwise_join_method",
+    "synchronous_traversal_join",
+    "window_reduction_join",
+]

@@ -1,0 +1,79 @@
+"""Brute-force multiway join — the test oracle.
+
+Enumerates the full Cartesian product, so it is only usable on tiny
+instances; every other join algorithm in the library is validated against
+it.  Also provides the exhaustive *best-approximate* search used as the
+oracle for IBB.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..core.evaluator import QueryEvaluator
+from ..query import ProblemInstance
+
+__all__ = ["brute_force_join", "brute_force_best", "count_exact_solutions"]
+
+#: refuse Cartesian products beyond this size (oracle misuse guard)
+_MAX_TUPLES = 50_000_000
+
+
+def _check_size(instance: ProblemInstance) -> None:
+    total = 1
+    for dataset in instance.datasets:
+        total *= len(dataset)
+        if total > _MAX_TUPLES:
+            raise ValueError(
+                f"brute force over > {_MAX_TUPLES} tuples; "
+                "use WR/ST/PJM for instances this large"
+            )
+
+
+def brute_force_join(
+    instance: ProblemInstance, evaluator: QueryEvaluator | None = None
+) -> Iterator[tuple[int, ...]]:
+    """Yield every exact solution of the join, in lexicographic order."""
+    _check_size(instance)
+    evaluator = evaluator or QueryEvaluator(instance)
+    edges = list(instance.query.edges())
+    rects = evaluator.rects
+    domains = [range(len(dataset)) for dataset in instance.datasets]
+    for values in itertools.product(*domains):
+        if all(
+            predicate.test(rects[i][values[i]], rects[j][values[j]])
+            for i, j, predicate in edges
+        ):
+            yield values
+
+
+def count_exact_solutions(
+    instance: ProblemInstance, evaluator: QueryEvaluator | None = None
+) -> int:
+    """Number of exact solutions (used to verify hard-region generation)."""
+    return sum(1 for _ in brute_force_join(instance, evaluator))
+
+
+def brute_force_best(
+    instance: ProblemInstance, evaluator: QueryEvaluator | None = None
+) -> tuple[tuple[int, ...], int]:
+    """The (lexicographically first) solution with minimum violations.
+
+    The oracle for approximate retrieval: IBB run to exhaustion must match
+    this violation count.
+    """
+    _check_size(instance)
+    evaluator = evaluator or QueryEvaluator(instance)
+    domains = [range(len(dataset)) for dataset in instance.datasets]
+    best_values: tuple[int, ...] | None = None
+    best_violations = evaluator.num_constraints + 1
+    for values in itertools.product(*domains):
+        violations = evaluator.count_violations(values)
+        if violations < best_violations:
+            best_violations = violations
+            best_values = values
+            if violations == 0:
+                break
+    assert best_values is not None
+    return best_values, best_violations

@@ -1,0 +1,110 @@
+"""Pairwise R-tree join [BKS93] — the building block of PJM.
+
+Synchronised depth-first traversal of two R-trees reporting all pairs of
+intersecting objects.  Two classic optimisations from Brinkhoff et al.:
+
+* **search-space restriction**: children are matched only within the
+  intersection of the two current node MBRs;
+* **plane sweep**: entries of both nodes are sorted by ``xmin`` and swept,
+  so each entry is compared only against entries it can overlap on the
+  x-axis instead of all ``C²`` combinations.
+
+Trees of different heights are handled by descending only the deeper tree
+until levels align.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..geometry import Rect
+from ..index import RStarTree
+from ..index.node import Node
+
+__all__ = ["rtree_join"]
+
+
+def rtree_join(
+    tree_a: RStarTree, tree_b: RStarTree
+) -> Iterator[tuple[Any, Any]]:
+    """Yield every ``(item_a, item_b)`` whose rectangles intersect."""
+    root_a, root_b = tree_a.root, tree_b.root
+    if root_a.mbr is None or root_b.mbr is None:
+        return
+    if not root_a.mbr.intersects(root_b.mbr):
+        return
+    yield from _join_nodes(root_a, root_b, tree_a, tree_b)
+
+
+def _join_nodes(
+    node_a: Node, node_b: Node, tree_a: RStarTree, tree_b: RStarTree
+) -> Iterator[tuple[Any, Any]]:
+    tree_a.stats.node_reads += 1
+    tree_b.stats.node_reads += 1
+    if tree_a.pager is not None:
+        tree_a.pager.access(id(node_a))
+    if tree_b.pager is not None:
+        tree_b.pager.access(id(node_b))
+    if node_a.is_leaf and node_b.is_leaf:
+        tree_a.stats.leaf_reads += 1
+        tree_b.stats.leaf_reads += 1
+        yield from _sweep_pairs(node_a, node_b)
+        return
+    if node_a.is_leaf or (not node_b.is_leaf and node_b.level > node_a.level):
+        # descend only the deeper side until levels align
+        assert node_a.mbr is not None
+        for rect_b, child_b in node_b.entries():
+            if rect_b.intersects(node_a.mbr):
+                yield from _join_nodes(node_a, child_b, tree_a, tree_b)
+        return
+    if node_b.is_leaf or node_a.level > node_b.level:
+        assert node_b.mbr is not None
+        for rect_a, child_a in node_a.entries():
+            if rect_a.intersects(node_b.mbr):
+                yield from _join_nodes(child_a, node_b, tree_a, tree_b)
+        return
+    # same internal level: match children inside the nodes' common region
+    assert node_a.mbr is not None and node_b.mbr is not None
+    common = node_a.mbr.intersection(node_b.mbr)
+    if common is None:
+        return
+    entries_a = [(r, c) for r, c in node_a.entries() if r.intersects(common)]
+    entries_b = [(r, c) for r, c in node_b.entries() if r.intersects(common)]
+    for rect_a, child_a, _rect_b, child_b in _sweep(entries_a, entries_b):
+        yield from _join_nodes(child_a, child_b, tree_a, tree_b)
+
+
+def _sweep_pairs(leaf_a: Node, leaf_b: Node) -> Iterator[tuple[Any, Any]]:
+    for _ra, item_a, _rb, item_b in _sweep(list(leaf_a.entries()), list(leaf_b.entries())):
+        yield item_a, item_b
+
+
+def _sweep(
+    entries_a: list[tuple[Rect, Any]], entries_b: list[tuple[Rect, Any]]
+) -> Iterator[tuple[Rect, Any, Rect, Any]]:
+    """Forward plane sweep over two x-sorted entry lists.
+
+    Yields all 4-tuples ``(rect_a, payload_a, rect_b, payload_b)`` with
+    intersecting rectangles.
+    """
+    entries_a = sorted(entries_a, key=lambda entry: entry[0].xmin)
+    entries_b = sorted(entries_b, key=lambda entry: entry[0].xmin)
+    index_a = index_b = 0
+    while index_a < len(entries_a) and index_b < len(entries_b):
+        rect_a, payload_a = entries_a[index_a]
+        rect_b, payload_b = entries_b[index_b]
+        if rect_a.xmin <= rect_b.xmin:
+            # sweep rect_a against b-entries starting at index_b
+            for other_rect, other_payload in entries_b[index_b:]:
+                if other_rect.xmin > rect_a.xmax:
+                    break
+                if rect_a.ymin <= other_rect.ymax and other_rect.ymin <= rect_a.ymax:
+                    yield rect_a, payload_a, other_rect, other_payload
+            index_a += 1
+        else:
+            for other_rect, other_payload in entries_a[index_a:]:
+                if other_rect.xmin > rect_b.xmax:
+                    break
+                if rect_b.ymin <= other_rect.ymax and other_rect.ymin <= rect_b.ymax:
+                    yield other_rect, other_payload, rect_b, payload_b
+            index_b += 1

@@ -1,0 +1,119 @@
+"""Synchronous Traversal (ST) — exact multiway join over R-tree nodes [PMT99].
+
+ST descends all ``n`` R*-trees simultaneously: starting from the roots, it
+finds combinations of entries (one per tree) whose MBRs pairwise satisfy the
+query's filter conditions, and recurses on each qualifying combination until
+the leaf level, where actual objects are reported.  The expensive part — up
+to ``Cⁿ`` combinations per node-tuple — is tamed by backtracking with
+forward pruning: a partial combination is extended only while every edge
+into the chosen prefix remains satisfiable.
+
+Restricted to all-``intersects`` queries (the paper's standard condition):
+MBR intersection is then a sound and effective node-level filter.  Trees of
+different heights are handled by holding leaf-level nodes fixed while deeper
+trees keep descending.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core.evaluator import QueryEvaluator
+from ..geometry import Rect
+from ..index.node import Node
+from ..query import ProblemInstance
+
+__all__ = ["synchronous_traversal_join"]
+
+
+def synchronous_traversal_join(
+    instance: ProblemInstance, evaluator: QueryEvaluator | None = None
+) -> Iterator[tuple[int, ...]]:
+    """Yield every exact solution of an all-``intersects`` join."""
+    if not instance.query.all_intersects():
+        raise ValueError(
+            "synchronous traversal requires all-intersects queries; "
+            "use window_reduction_join for other predicates"
+        )
+    evaluator = evaluator or QueryEvaluator(instance)
+    roots = [tree.root for tree in evaluator.trees]
+    if any(root.mbr is None for root in roots):
+        return
+    edge_lists = _edges_into_prefix(evaluator)
+    yield from _descend(tuple(roots), evaluator, edge_lists)
+
+
+def _edges_into_prefix(evaluator: QueryEvaluator) -> list[list[int]]:
+    """``edge_lists[i]`` = join partners of variable ``i`` with index < i.
+
+    Backtracking instantiates variables in index order, so only these edges
+    need checking when variable ``i`` is chosen.
+    """
+    return [
+        [j for j, _predicate in evaluator.neighbors[i] if j < i]
+        for i in range(evaluator.num_variables)
+    ]
+
+
+def _descend(
+    nodes: tuple[Node, ...],
+    evaluator: QueryEvaluator,
+    edge_lists: list[list[int]],
+) -> Iterator[tuple[int, ...]]:
+    for position, node in enumerate(nodes):
+        tree = evaluator.trees[position]
+        tree.stats.node_reads += 1
+        if tree.pager is not None:
+            tree.pager.access(id(node))
+        if node.is_leaf:
+            tree.stats.leaf_reads += 1
+    if all(node.is_leaf for node in nodes):
+        for combo in _qualifying_combinations(nodes, edge_lists, leaf=True):
+            yield tuple(item for _rect, item in combo)
+        return
+    for combo in _qualifying_combinations(nodes, edge_lists, leaf=False):
+        next_nodes = []
+        for position, (rect, payload) in enumerate(combo):
+            if isinstance(payload, Node):
+                next_nodes.append(payload)
+            else:
+                # this tree bottomed out early: hold its leaf node fixed
+                next_nodes.append(nodes[position])
+        yield from _descend(tuple(next_nodes), evaluator, edge_lists)
+
+
+def _qualifying_combinations(
+    nodes: tuple[Node, ...],
+    edge_lists: list[list[int]],
+    leaf: bool,
+) -> Iterator[list[tuple[Rect, Any]]]:
+    """Backtrack over one entry per node such that all checked edges hold.
+
+    At internal levels the check is MBR intersection (sound filter); at the
+    leaf level it is the actual object intersection (exact).  When a tree
+    has already reached its leaves while others are internal, the whole
+    leaf node is offered as the single "entry" so the descent stays
+    synchronous.
+    """
+    num_variables = len(nodes)
+    entry_lists: list[list[tuple[Rect, Any]]] = []
+    for position, node in enumerate(nodes):
+        if leaf or not node.is_leaf:
+            entry_lists.append(list(node.entries()))
+        else:
+            assert node.mbr is not None
+            entry_lists.append([(node.mbr, node)])
+
+    chosen: list[tuple[Rect, Any]] = []
+
+    def backtrack(position: int) -> Iterator[list[tuple[Rect, Any]]]:
+        if position == num_variables:
+            yield list(chosen)
+            return
+        for rect, payload in entry_lists[position]:
+            if all(rect.intersects(chosen[j][0]) for j in edge_lists[position]):
+                chosen.append((rect, payload))
+                yield from backtrack(position + 1)
+                chosen.pop()
+
+    yield from backtrack(0)

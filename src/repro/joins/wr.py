@@ -1,0 +1,88 @@
+"""Window Reduction (WR) — systematic exact join via backtracking [PMT99].
+
+WR "integrates the ideas of backtracking and index nested loop algorithms":
+when a variable gets a value, that rectangle becomes a query *window* over
+the next dataset's R*-tree; if a window query yields no candidate, search
+backtracks.  This implementation instantiates variables in a
+connectivity-maximising static order, so every variable after the first is
+constrained by at least one window (for connected queries).
+
+WR enumerates *exact* solutions only; the paper's point is precisely that
+algorithms of this family cannot retrieve approximate answers (§2) — the
+approximate generalisation is IBB in :mod:`repro.core.ibb`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.evaluator import QueryEvaluator
+from ..core.ibb import connectivity_order
+from ..index.queries import search_predicate
+from ..query import ProblemInstance
+
+__all__ = ["window_reduction_join"]
+
+
+def window_reduction_join(
+    instance: ProblemInstance,
+    evaluator: QueryEvaluator | None = None,
+    limit: int | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield exact solutions; stops after ``limit`` solutions when given."""
+    evaluator = evaluator or QueryEvaluator(instance)
+    order = connectivity_order(evaluator)
+    position_of = {variable: depth for depth, variable in enumerate(order)}
+    earlier_neighbors = [
+        [
+            (j, predicate)
+            for j, predicate in evaluator.neighbors[variable]
+            if position_of[j] < position_of[variable]
+        ]
+        for variable in order
+    ]
+    num_variables = evaluator.num_variables
+    rects = evaluator.rects
+    values = [0] * num_variables
+    emitted = 0
+
+    def backtrack(depth: int) -> Iterator[tuple[int, ...]]:
+        nonlocal emitted
+        if depth == num_variables:
+            emitted += 1
+            yield tuple(values)
+            return
+        variable = order[depth]
+        edges = earlier_neighbors[depth]
+        if not edges:
+            # only the first variable in a connected query is unconstrained
+            candidates: Iterator[int] = iter(range(len(rects[variable])))
+        else:
+            candidates = _window_candidates(evaluator, variable, edges, values)
+        for object_id in candidates:
+            values[variable] = object_id
+            yield from backtrack(depth + 1)
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def _window_candidates(evaluator, variable, edges, values) -> Iterator[int]:
+    """Objects satisfying *all* instantiated conditions on ``variable``.
+
+    One index window query on the most selective-looking edge (the first),
+    filtered by direct predicate tests on the remaining edges — the index
+    nested loop at the heart of WR.
+    """
+    first_j, first_predicate = edges[0]
+    window = evaluator.rects[first_j][values[first_j]]
+    rest = edges[1:]
+    rects = evaluator.rects
+    for rect, item in search_predicate(
+        evaluator.trees[variable], first_predicate, window
+    ):
+        if all(
+            predicate.test(rect, rects[j][values[j]]) for j, predicate in rest
+        ):
+            yield item

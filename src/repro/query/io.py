@@ -1,0 +1,105 @@
+"""Serialisation of query graphs and whole problem instances.
+
+Experiments become reproducible artefacts: a :class:`ProblemInstance` can be
+written to a directory (one ``.npz`` per dataset plus a JSON manifest with
+the query graph and generation metadata) and reloaded bit-exactly — useful
+for sharing hard instances, re-running benchmarks on fixed data, and
+debugging heuristic behaviour on a known workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..data.io import load_npz, save_npz
+from ..geometry import SpatialPredicate, WithinDistance, predicate_from_name
+from .graph import QueryGraph
+from .hardness import ProblemInstance
+
+__all__ = [
+    "query_to_dict",
+    "query_from_dict",
+    "save_instance",
+    "load_instance",
+]
+
+_MANIFEST = "instance.json"
+
+
+def _predicate_to_dict(predicate: SpatialPredicate) -> dict:
+    if isinstance(predicate, WithinDistance):
+        return {"name": predicate.name, "distance": predicate.distance}
+    return {"name": predicate.name}
+
+
+def _predicate_from_dict(payload: dict) -> SpatialPredicate:
+    return predicate_from_name(payload["name"], payload.get("distance"))
+
+
+def query_to_dict(query: QueryGraph) -> dict:
+    """JSON-serialisable description of a query graph."""
+    return {
+        "num_variables": query.num_variables,
+        "edges": [
+            {"i": i, "j": j, "predicate": _predicate_to_dict(predicate)}
+            for i, j, predicate in query.edges()
+        ],
+    }
+
+
+def query_from_dict(payload: dict) -> QueryGraph:
+    """Inverse of :func:`query_to_dict`."""
+    query = QueryGraph(payload["num_variables"])
+    for edge in payload["edges"]:
+        query.add_edge(edge["i"], edge["j"], _predicate_from_dict(edge["predicate"]))
+    return query
+
+
+def save_instance(instance: ProblemInstance, directory: str | Path) -> Path:
+    """Write an instance (datasets + query + metadata) to ``directory``.
+
+    Creates the directory when missing; returns the manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dataset_files = []
+    for index, dataset in enumerate(instance.datasets):
+        filename = f"dataset_{index}.npz"
+        save_npz(dataset, directory / filename)
+        dataset_files.append(filename)
+    manifest = {
+        "format": "repro-instance/1",
+        "query": query_to_dict(instance.query),
+        "datasets": dataset_files,
+        "density": instance.density,
+        "expected_solutions": instance.expected_solutions,
+        "planted": list(instance.planted) if instance.planted else None,
+        "metadata": instance.metadata,
+    }
+    manifest_path = directory / _MANIFEST
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest_path
+
+
+def load_instance(directory: str | Path) -> ProblemInstance:
+    """Inverse of :func:`save_instance`; rebuilds the dataset indexes."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != "repro-instance/1":
+        raise ValueError(
+            f"{manifest_path}: unsupported format {manifest.get('format')!r}"
+        )
+    datasets = [load_npz(directory / filename) for filename in manifest["datasets"]]
+    planted = manifest.get("planted")
+    return ProblemInstance(
+        query=query_from_dict(manifest["query"]),
+        datasets=datasets,
+        density=manifest.get("density"),
+        expected_solutions=manifest.get("expected_solutions"),
+        planted=tuple(planted) if planted else None,
+        metadata=manifest.get("metadata") or {},
+    )

@@ -1,0 +1,129 @@
+"""Expected output size of multiway spatial joins (§6 of the paper).
+
+The expected number of exact solutions is::
+
+    Sol = #(possible tuples) · Prob(a tuple is a solution)
+
+For uniform datasets covering a unit workspace, the selectivity of one
+pairwise overlap join is ``(|r_i| + |r_j|)²`` [TSS98].  For acyclic query
+graphs the edge probabilities are independent; for cliques [PMT99] derive a
+shared-area correction.  With equal cardinalities ``N`` and density
+``d = N·|r|²`` the paper's closed forms are::
+
+    acyclic:  Sol = N · 2^(2(n-1)) · d^(n-1)
+    clique:   Sol = N · n² · d^(n-1)
+
+These formulas are what makes controlled *hard-region* instance generation
+possible (choose ``d`` so ``Sol`` is any target, typically 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .graph import QueryGraph
+
+__all__ = [
+    "pairwise_selectivity",
+    "expected_solutions_acyclic",
+    "expected_solutions_clique",
+    "expected_solutions",
+    "density_for_solutions",
+    "problem_size_bits",
+]
+
+
+def pairwise_selectivity(extent_i: float, extent_j: float) -> float:
+    """Probability that two uniform rects with these average extents overlap."""
+    if extent_i < 0 or extent_j < 0:
+        raise ValueError(f"negative extent: {extent_i}, {extent_j}")
+    return (extent_i + extent_j) ** 2
+
+
+def expected_solutions_acyclic(
+    num_variables: int, cardinality: int, density: float, num_edges: int | None = None
+) -> float:
+    """``Sol`` for tree queries (chains, stars) with equal ``N`` and ``d``.
+
+    ``num_edges`` defaults to ``n - 1`` (any spanning tree); passing the
+    actual edge count extends the independence approximation to sparse
+    cyclic graphs, where it becomes an estimate.
+    """
+    _check_parameters(num_variables, cardinality, density)
+    edges = num_variables - 1 if num_edges is None else num_edges
+    # Sol = N^(n-E) · (4d)^E, written so the tree case (E = n-1) is exact.
+    return (
+        cardinality
+        * (4.0 * density) ** edges
+        * cardinality ** ((num_variables - 1) - edges)
+    )
+
+
+def expected_solutions_clique(
+    num_variables: int, cardinality: int, density: float
+) -> float:
+    """``Sol`` for clique queries: ``N · n² · d^(n-1)`` [PMT99]."""
+    _check_parameters(num_variables, cardinality, density)
+    return cardinality * num_variables**2 * density ** (num_variables - 1)
+
+
+def expected_solutions(query: QueryGraph, cardinality: int, density: float) -> float:
+    """``Sol`` for a query graph over equal-``N``, equal-``d`` uniform datasets.
+
+    Dispatches to the exact closed forms for acyclic graphs and cliques; for
+    other cyclic graphs it falls back to the independent-edge approximation
+    (an upper-bound-flavoured estimate, as the paper notes the independence
+    assumption fails once cycles appear).
+    """
+    if query.is_clique() and query.num_variables >= 3:
+        return expected_solutions_clique(query.num_variables, cardinality, density)
+    return expected_solutions_acyclic(
+        query.num_variables, cardinality, density, num_edges=query.num_edges
+    )
+
+
+def density_for_solutions(
+    query: QueryGraph, cardinality: int, target_solutions: float
+) -> float:
+    """Density that makes ``expected_solutions(query, N, d) == target``.
+
+    Inverts the closed forms above.  For ``target = 1`` this reproduces the
+    paper's hard-region densities ``d = 1/(4·ⁿ⁻¹√N)`` (acyclic) and
+    ``d = 1/ⁿ⁻¹√(N·n²)`` (clique).
+    """
+    if target_solutions <= 0:
+        raise ValueError(f"target_solutions must be positive, got {target_solutions}")
+    if cardinality <= 0:
+        raise ValueError(f"cardinality must be positive, got {cardinality}")
+    n = query.num_variables
+    if query.is_clique() and n >= 3:
+        return (target_solutions / (cardinality * n**2)) ** (1.0 / (n - 1))
+    edges = query.num_edges
+    # invert N^(n-E) 4^E d^E = target  =>  d = (target · N^(E-n) / 4^E)^(1/E)
+    return (
+        target_solutions * cardinality ** (edges - n) / 4.0**edges
+    ) ** (1.0 / edges)
+
+
+def problem_size_bits(cardinalities: list[int] | tuple[int, ...]) -> float:
+    """Problem size ``s = log₂ Π Nᵢ``: bits to encode one solution [CFG+98].
+
+    SEA's parameters and GILS's λ are expressed as functions of ``s``.
+    """
+    if not cardinalities:
+        raise ValueError("need at least one dataset cardinality")
+    total = 0.0
+    for cardinality in cardinalities:
+        if cardinality <= 0:
+            raise ValueError(f"cardinality must be positive, got {cardinality}")
+        total += math.log2(cardinality)
+    return total
+
+
+def _check_parameters(num_variables: int, cardinality: int, density: float) -> None:
+    if num_variables < 2:
+        raise ValueError(f"need at least 2 variables, got {num_variables}")
+    if cardinality <= 0:
+        raise ValueError(f"cardinality must be positive, got {cardinality}")
+    if density < 0:
+        raise ValueError(f"density must be non-negative, got {density}")

@@ -1,0 +1,22 @@
+"""2D-string iconic indexing — the §2 related-work baseline.
+
+Configuration-similarity retrieval by string matching ([CSY87], [LYC92],
+[LH92]): pictures become label sequences along each axis, queries are
+matched by (subsequence-based) similarity.  Included so the paper's scaling
+argument against this family is measurable, not just quoted.
+"""
+
+from .database import ImageDatabase, RetrievalHit
+from .encoding import LabelledObject, TwoDString, encode_image
+from .matching import is_type0_match, lcs_length, string_similarity
+
+__all__ = [
+    "LabelledObject",
+    "TwoDString",
+    "encode_image",
+    "lcs_length",
+    "string_similarity",
+    "is_type0_match",
+    "ImageDatabase",
+    "RetrievalHit",
+]

@@ -1,0 +1,96 @@
+"""Iconic image database: 2D-string indexing and similarity retrieval.
+
+The retrieval architecture of the 2D-string literature ([LYC92], [LH92]):
+every database picture is encoded **once** at insertion time; a query
+picture is encoded and compared against every stored string (optionally
+after the cheap type-0 subsequence filter).  Query cost is therefore
+``O(#pictures · |query| · |picture|)`` — linear scans of quadratic matches —
+which is why the paper dismisses the approach for datasets of 10⁵ objects
+and builds index-aware search instead.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from .encoding import LabelledObject, TwoDString, encode_image
+from .matching import is_type0_match, string_similarity
+
+__all__ = ["ImageDatabase", "RetrievalHit"]
+
+
+class RetrievalHit(tuple):
+    """``(similarity, name)`` result pair, ordered best-first."""
+
+    __slots__ = ()
+
+    def __new__(cls, similarity: float, name: Hashable):
+        return super().__new__(cls, (similarity, name))
+
+    @property
+    def similarity(self) -> float:
+        return self[0]
+
+    @property
+    def name(self) -> Hashable:
+        return self[1]
+
+
+class ImageDatabase:
+    """A collection of symbolic pictures indexed by their 2D strings."""
+
+    def __init__(self) -> None:
+        self._strings: dict[Hashable, TwoDString] = {}
+        self._sizes: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def add_image(self, name: Hashable, objects: Sequence[LabelledObject]) -> None:
+        """Encode and store one picture; re-adding a name overwrites it."""
+        self._strings[name] = encode_image(objects)
+        self._sizes[name] = len(objects)
+
+    def remove_image(self, name: Hashable) -> bool:
+        """Drop a picture; returns False when absent."""
+        if name not in self._strings:
+            return False
+        del self._strings[name]
+        del self._sizes[name]
+        return True
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._strings
+
+    def image_size(self, name: Hashable) -> int:
+        return self._sizes[name]
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Sequence[LabelledObject],
+        top_k: int = 10,
+        exact_only: bool = False,
+    ) -> list[RetrievalHit]:
+        """The ``top_k`` pictures most similar to the query configuration.
+
+        ``exact_only`` keeps only pictures passing the type-0 subsequence
+        filter (candidates for an exact arrangement match).
+        """
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        query_string = encode_image(query)
+        hits = []
+        for name, picture_string in self._strings.items():
+            if exact_only and not is_type0_match(query_string, picture_string):
+                continue
+            hits.append(
+                RetrievalHit(string_similarity(query_string, picture_string), name)
+            )
+        hits.sort(key=lambda hit: (-hit.similarity, repr(hit.name)))
+        return hits[:top_k]

@@ -1,0 +1,98 @@
+"""2D-string encoding of symbolic pictures [CSY87].
+
+The paper's related work (§2) covers configuration-similarity retrieval by
+*iconic indexing*: every image is reduced to a **2D string** — the sequence
+of its object labels ordered along each axis — and retrieval becomes string
+matching.  "Although this methodology can handle larger datasets
+(experimental evaluations usually include images with about 100 objects) it
+is still not adequate for real-life spatial datasets" — the claim this
+subpackage lets us measure (see ``benchmarks/bench_strings2d.py``).
+
+Encoding follows Chang, Shi & Yan: objects are projected on each axis and
+listed in non-decreasing order of their centers; objects whose projections
+coincide are tied (the original ``=`` operator).  Labels are arbitrary
+hashable values — in this library typically the dataset index (object
+type), mirroring the paper's images that "contain several types of
+objects".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..geometry import Rect
+
+__all__ = ["LabelledObject", "TwoDString", "encode_image"]
+
+#: tolerance under which two projected centers count as tied (the ``=``
+#: operator of [CSY87])
+_TIE_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class LabelledObject:
+    """One object of a symbolic picture: a label plus its MBR."""
+
+    label: Hashable
+    rect: Rect
+
+
+@dataclass(frozen=True)
+class TwoDString:
+    """The 2D string of an image: label sequences along x and y.
+
+    ``u`` / ``v`` are tuples of *runs*: each run is a tuple of labels whose
+    projections are tied (sorted for canonical form); runs are ordered by
+    the projected coordinate.  The flattened forms (``flat_u`` / ``flat_v``)
+    are what the LCS-based matcher consumes.
+    """
+
+    u: tuple[tuple[Hashable, ...], ...]
+    v: tuple[tuple[Hashable, ...], ...]
+
+    @property
+    def flat_u(self) -> tuple[Hashable, ...]:
+        return tuple(label for run in self.u for label in run)
+
+    @property
+    def flat_v(self) -> tuple[Hashable, ...]:
+        return tuple(label for run in self.v for label in run)
+
+    def __len__(self) -> int:
+        return sum(len(run) for run in self.u)
+
+
+def encode_image(objects: Sequence[LabelledObject]) -> TwoDString:
+    """Encode a symbolic picture as its 2D string.
+
+    Raises :class:`ValueError` on an empty picture (an empty 2D string
+    matches everything and nothing — [CSY87] pictures are non-empty).
+    """
+    if not objects:
+        raise ValueError("cannot encode an empty picture")
+    return TwoDString(
+        u=_axis_runs(objects, axis=0),
+        v=_axis_runs(objects, axis=1),
+    )
+
+
+def _axis_runs(
+    objects: Sequence[LabelledObject], axis: int
+) -> tuple[tuple[Hashable, ...], ...]:
+    def coordinate(item: LabelledObject) -> float:
+        return item.rect.center()[axis]
+
+    ordered = sorted(objects, key=coordinate)
+    runs: list[tuple[Hashable, ...]] = []
+    current: list[Hashable] = []
+    previous = None
+    for item in ordered:
+        value = coordinate(item)
+        if previous is not None and abs(value - previous) > _TIE_EPSILON:
+            runs.append(tuple(sorted(current, key=repr)))
+            current = []
+        current.append(item.label)
+        previous = value
+    runs.append(tuple(sorted(current, key=repr)))
+    return tuple(runs)

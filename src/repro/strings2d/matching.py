@@ -1,0 +1,74 @@
+"""2D-string similarity by subsequence matching.
+
+Retrieval over 2D strings reduces to string matching [CSY87]; ranking
+variants compare the query's strings against each picture's.  Exact
+*2D subsequence* matching with repeated symbols is NP-hard, so practical
+systems fall back to per-axis filters — the signature-file spirit of
+[LYC92].  This module implements:
+
+* :func:`lcs_length` — classic O(n·m) longest-common-subsequence DP,
+* :func:`string_similarity` — the per-axis LCS similarity of two 2D
+  strings, averaged over the axes and normalised by the query length
+  (1.0 = the query's orderings embed fully in the picture on both axes),
+* :func:`is_type0_match` — a sound *filter*: True whenever the whole query
+  is a per-axis subsequence of the picture (necessary for a true type-0
+  2D-subsequence match; not sufficient, as per-axis matches may pick
+  different objects).
+
+The deliberate simplifications (per-axis instead of joint matching) are the
+standard engineering of the 2D-string literature and only make the baseline
+*stronger* — it still degrades quadratically with picture size, which is
+the comparison the paper draws.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from .encoding import TwoDString
+
+__all__ = ["lcs_length", "string_similarity", "is_type0_match"]
+
+
+def lcs_length(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Longest common subsequence length, O(len(a)·len(b)) time."""
+    if not a or not b:
+        return 0
+    # keep the DP row over the shorter sequence
+    if len(b) > len(a):
+        a, b = b, a
+    previous = [0] * (len(b) + 1)
+    for item_a in a:
+        current = [0]
+        row_best = 0
+        for index_b, item_b in enumerate(b):
+            if item_a == item_b:
+                value = previous[index_b] + 1
+            else:
+                value = max(previous[index_b + 1], current[-1])
+            current.append(value)
+        previous = current
+    return previous[-1]
+
+
+def string_similarity(query: TwoDString, picture: TwoDString) -> float:
+    """Per-axis LCS similarity in ``[0, 1]``, normalised by query size."""
+    query_length = len(query)
+    if query_length == 0:
+        raise ValueError("empty query string")
+    lcs_u = lcs_length(query.flat_u, picture.flat_u)
+    lcs_v = lcs_length(query.flat_v, picture.flat_v)
+    return (lcs_u + lcs_v) / (2.0 * query_length)
+
+
+def is_type0_match(query: TwoDString, picture: TwoDString) -> bool:
+    """Necessary condition for a type-0 (subsequence) match on both axes."""
+    return (
+        _is_subsequence(query.flat_u, picture.flat_u)
+        and _is_subsequence(query.flat_v, picture.flat_v)
+    )
+
+
+def _is_subsequence(needle: Sequence[Hashable], haystack: Sequence[Hashable]) -> bool:
+    iterator = iter(haystack)
+    return all(any(item == candidate for candidate in iterator) for item in needle)

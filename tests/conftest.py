@@ -1,0 +1,58 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro import QueryGraph, Rect, hard_instance
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+finite_coord = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw, min_size: float = 0.0, max_size: float = 50.0):
+    """A well-formed Rect with sides in [min_size, max_size]."""
+    x = draw(finite_coord)
+    y = draw(finite_coord)
+    width = draw(st.floats(min_value=min_size, max_value=max_size))
+    height = draw(st.floats(min_value=min_size, max_value=max_size))
+    return Rect(x, y, x + width, y + height)
+
+
+@st.composite
+def rect_lists(draw, min_length: int = 1, max_length: int = 40):
+    return draw(st.lists(rects(), min_size=min_length, max_size=max_length))
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def tiny_clique_instance():
+    """4-variable clique over 60-object datasets: brute-forceable."""
+    return hard_instance(QueryGraph.clique(4), cardinality=60, seed=42)
+
+
+@pytest.fixture
+def tiny_chain_instance():
+    """4-variable chain over 60-object datasets: brute-forceable."""
+    return hard_instance(QueryGraph.chain(4), cardinality=60, seed=43)
+
+
+@pytest.fixture
+def small_clique_instance():
+    """5-variable clique over 400-object datasets: fast heuristics."""
+    return hard_instance(QueryGraph.clique(5), cardinality=400, seed=7)

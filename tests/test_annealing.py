@@ -1,0 +1,125 @@
+"""Indexed Simulated Annealing tests."""
+
+import pytest
+
+from repro import (
+    Budget,
+    QueryGraph,
+    SAConfig,
+    indexed_simulated_annealing,
+    planted_instance,
+)
+from repro.core.evaluator import QueryEvaluator
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SAConfig(initial_temperature=0.0)
+        with pytest.raises(ValueError):
+            SAConfig(final_temperature=0.0)
+        with pytest.raises(ValueError):
+            SAConfig(initial_temperature=1.0, final_temperature=2.0)
+        with pytest.raises(ValueError):
+            SAConfig(guided_move_rate=1.5)
+
+    def test_temperature_schedule(self):
+        config = SAConfig(initial_temperature=4.0, final_temperature=0.04)
+        assert config.temperature(0.0) == pytest.approx(4.0)
+        assert config.temperature(1.0) == pytest.approx(0.04)
+        assert config.temperature(0.5) == pytest.approx(0.4)  # geometric
+        # clamped outside [0, 1]
+        assert config.temperature(-1.0) == pytest.approx(4.0)
+        assert config.temperature(2.0) == pytest.approx(0.04)
+
+
+class TestBudgetProgress:
+    def test_iteration_progress(self):
+        budget = Budget.iterations(10)
+        assert budget.progress() == 0.0
+        budget.tick(5)
+        assert budget.progress() == pytest.approx(0.5)
+        budget.tick(10)
+        assert budget.progress() == 1.0
+
+    def test_time_progress(self):
+        from test_budget import FakeClock
+
+        clock = FakeClock()
+        budget = Budget.seconds(10.0, clock=clock)
+        budget.start()
+        clock.advance(4.0)
+        assert budget.progress() == pytest.approx(0.4)
+
+
+class TestRuns:
+    def test_deterministic_given_seed(self, small_clique_instance):
+        a = indexed_simulated_annealing(
+            small_clique_instance, Budget.iterations(500), seed=5
+        )
+        b = indexed_simulated_annealing(
+            small_clique_instance, Budget.iterations(500), seed=5
+        )
+        assert a.best_assignment == b.best_assignment
+
+    def test_result_consistency(self, small_clique_instance):
+        result = indexed_simulated_annealing(
+            small_clique_instance, Budget.iterations(800), seed=1
+        )
+        evaluator = QueryEvaluator(small_clique_instance)
+        assert evaluator.count_violations(list(result.best_assignment)) == (
+            result.best_violations
+        )
+        assert result.algorithm == "ISA"
+        assert result.stats["accepted_moves"] <= result.iterations
+
+    def test_classic_variant_labelled_sa(self, small_clique_instance):
+        result = indexed_simulated_annealing(
+            small_clique_instance,
+            Budget.iterations(300),
+            seed=2,
+            config=SAConfig(guided_move_rate=0.0),
+        )
+        assert result.algorithm == "SA"
+
+    def test_finds_planted_exact_solution(self):
+        instance = planted_instance(QueryGraph.clique(4), 150, seed=6)
+        result = indexed_simulated_annealing(
+            instance, Budget.iterations(50_000), seed=6
+        )
+        assert result.is_exact
+        assert result.iterations < 50_000  # stop_on_exact
+
+    def test_indexed_moves_beat_random_moves(self, small_clique_instance):
+        guided = indexed_simulated_annealing(
+            small_clique_instance, Budget.iterations(2_000), seed=3
+        )
+        blind = indexed_simulated_annealing(
+            small_clique_instance,
+            Budget.iterations(2_000),
+            seed=3,
+            config=SAConfig(guided_move_rate=0.0),
+        )
+        assert guided.best_violations <= blind.best_violations
+
+    def test_trace_is_strictly_improving(self, small_clique_instance):
+        result = indexed_simulated_annealing(
+            small_clique_instance, Budget.iterations(2_000), seed=4
+        )
+        violations = [point.violations for point in result.trace.points]
+        assert violations == sorted(violations, reverse=True)
+
+
+class TestTwoStepIntegration:
+    def test_isa_available_as_heuristic(self):
+        from repro import two_step
+
+        instance = planted_instance(QueryGraph.clique(3), 80, seed=7)
+        result = two_step(
+            instance,
+            "isa",
+            heuristic_budget=Budget.iterations(20_000),
+            systematic_budget=Budget.iterations(1_000_000),
+            seed=7,
+        )
+        assert result.is_exact

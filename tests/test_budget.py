@@ -1,0 +1,108 @@
+"""Budget tests using a controllable fake clock."""
+
+import pytest
+
+from repro import Budget
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestValidation:
+    def test_needs_some_limit(self):
+        with pytest.raises(ValueError):
+            Budget()
+
+    def test_positive_limits(self):
+        with pytest.raises(ValueError):
+            Budget(time_limit=0)
+        with pytest.raises(ValueError):
+            Budget(max_iterations=0)
+
+
+class TestTimeBudget:
+    def test_not_exhausted_before_limit(self):
+        clock = FakeClock()
+        budget = Budget.seconds(10.0, clock=clock)
+        assert not budget.exhausted()
+        clock.advance(9.99)
+        assert not budget.exhausted()
+
+    def test_exhausted_at_limit(self):
+        clock = FakeClock()
+        budget = Budget.seconds(10.0, clock=clock)
+        budget.start()
+        clock.advance(10.0)
+        assert budget.exhausted()
+
+    def test_elapsed(self):
+        clock = FakeClock()
+        budget = Budget.seconds(10.0, clock=clock)
+        assert budget.elapsed() == 0.0  # before start
+        budget.start()
+        clock.advance(3.5)
+        assert budget.elapsed() == pytest.approx(3.5)
+
+    def test_clock_starts_on_first_exhausted_call(self):
+        clock = FakeClock()
+        clock.advance(100.0)  # time passing before the run starts is free
+        budget = Budget.seconds(1.0, clock=clock)
+        assert not budget.exhausted()
+        clock.advance(1.0)
+        assert budget.exhausted()
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        budget = Budget.seconds(5.0, clock=clock)
+        budget.start()
+        clock.advance(3.0)
+        budget.start()  # must not reset the origin
+        assert budget.elapsed() == pytest.approx(3.0)
+
+
+class TestIterationBudget:
+    def test_ticks(self):
+        budget = Budget.iterations(3)
+        assert not budget.exhausted()
+        budget.tick()
+        budget.tick()
+        assert not budget.exhausted()
+        budget.tick()
+        assert budget.exhausted()
+        assert budget.iterations_used == 3
+
+    def test_tick_amount(self):
+        budget = Budget.iterations(10)
+        budget.tick(10)
+        assert budget.exhausted()
+
+
+class TestCombined:
+    def test_either_limit_exhausts(self):
+        clock = FakeClock()
+        by_time = Budget(time_limit=1.0, max_iterations=100, clock=clock)
+        by_time.start()
+        clock.advance(2.0)
+        assert by_time.exhausted()
+
+        by_iterations = Budget(time_limit=100.0, max_iterations=2, clock=clock)
+        by_iterations.tick(2)
+        assert by_iterations.exhausted()
+
+    def test_spawn_copies_limits_fresh(self):
+        clock = FakeClock()
+        budget = Budget(time_limit=1.0, max_iterations=5, clock=clock)
+        budget.tick(5)
+        assert budget.exhausted()
+        fresh = budget.spawn()
+        assert not fresh.exhausted()
+        assert fresh.time_limit == 1.0
+        assert fresh.max_iterations == 5

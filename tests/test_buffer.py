@@ -1,0 +1,105 @@
+"""BufferPool (paged-storage simulation) tests."""
+
+import random
+
+import pytest
+
+from repro import Budget, QueryGraph, Rect, hard_instance, indexed_local_search, uniform_dataset
+from repro.index import BufferPool
+from repro.index.queries import search_items
+
+
+class TestLruSemantics:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert not pool.access("p1")  # cold miss
+        assert pool.access("p1")      # now resident
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.accesses == 2
+        assert pool.hit_ratio() == pytest.approx(0.5)
+
+    def test_eviction_is_lru(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")        # refresh a: b is now the LRU page
+        pool.access("c")        # evicts b
+        assert "a" in pool
+        assert "b" not in pool
+        assert "c" in pool
+        assert pool.evictions == 1
+
+    def test_len_bounded_by_capacity(self):
+        pool = BufferPool(3)
+        for page in range(10):
+            pool.access(page)
+        assert len(pool) == 3
+
+    def test_reset_counters_keeps_contents(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.reset_counters()
+        assert pool.accesses == 0
+        assert "a" in pool
+        assert pool.access("a")  # still a hit
+
+    def test_clear_empties_buffer(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.clear()
+        assert len(pool) == 0
+        assert not pool.access("a")
+
+    def test_hit_ratio_idle(self):
+        assert BufferPool(1).hit_ratio() == 0.0
+
+
+class TestTreeIntegration:
+    def test_window_queries_report_pages(self):
+        dataset = uniform_dataset(2_000, 0.1, random.Random(0))
+        pool = BufferPool(capacity=1_000)
+        dataset.tree.pager = pool
+        list(search_items(dataset.tree, Rect(0.4, 0.4, 0.6, 0.6)))
+        assert pool.accesses == dataset.tree.stats.node_reads
+
+    def test_large_buffer_beats_small_buffer(self):
+        dataset = uniform_dataset(3_000, 0.1, random.Random(1))
+        misses = {}
+        for capacity in (4, 512):
+            pool = BufferPool(capacity)
+            dataset.tree.pager = pool
+            rng = random.Random(2)
+            for _ in range(200):
+                x, y = rng.random() * 0.9, rng.random() * 0.9
+                list(search_items(dataset.tree, Rect(x, y, x + 0.05, y + 0.05)))
+            misses[capacity] = pool.misses
+        dataset.tree.pager = None
+        assert misses[512] < misses[4]
+
+    def test_search_workload_page_accounting(self):
+        instance = hard_instance(QueryGraph.clique(4), 400, seed=3)
+        pool = BufferPool(capacity=256)
+        for dataset in instance.datasets:
+            dataset.tree.pager = pool
+        result = indexed_local_search(instance, Budget.iterations(100), seed=3)
+        assert result.best_violations >= 0
+        assert pool.accesses > 0
+        # the shared pool saw exactly the node reads of all four trees
+        total_reads = sum(d.tree.stats.node_reads for d in instance.datasets)
+        assert pool.accesses == total_reads
+
+    def test_shared_pool_across_trees(self):
+        a = uniform_dataset(300, 0.1, random.Random(4))
+        b = uniform_dataset(300, 0.1, random.Random(5))
+        pool = BufferPool(capacity=64)
+        a.tree.pager = pool
+        b.tree.pager = pool
+        list(search_items(a.tree, Rect(0, 0, 1, 1)))
+        list(search_items(b.tree, Rect(0, 0, 1, 1)))
+        # pages of distinct trees never collide (identity-based page ids)
+        assert pool.misses >= 2

@@ -1,0 +1,97 @@
+"""STR bulk-loading tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Rect, RStarTree, bulk_load
+from repro.index.bulk import pack_nodes
+from repro.index.queries import search_items
+
+from conftest import rect_lists, rects
+
+
+def random_entries(count, seed=0):
+    rng = random.Random(seed)
+    return [
+        (Rect.from_center(rng.random(), rng.random(), 0.02, 0.02), index)
+        for index in range(count)
+    ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load([])
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_single_entry(self):
+        tree = bulk_load([(Rect(0, 0, 1, 1), 0)])
+        assert len(tree) == 1
+        assert tree.height == 1
+        tree.validate()
+
+    def test_invariants_hold(self):
+        tree = bulk_load(random_entries(5_000), max_entries=16)
+        tree.validate()
+        assert len(tree) == 5_000
+        assert tree.height >= 3
+
+    def test_fill_validation(self):
+        with pytest.raises(ValueError):
+            bulk_load(random_entries(10), fill=0.0)
+        with pytest.raises(ValueError):
+            bulk_load(random_entries(10), fill=1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rect_lists(min_length=1, max_length=120), rects())
+    def test_same_results_as_dynamic_tree(self, rect_list, window):
+        entries = list(zip(rect_list, range(len(rect_list))))
+        packed = bulk_load(entries, max_entries=5)
+        dynamic = RStarTree(max_entries=5)
+        for rect, item in entries:
+            dynamic.insert(rect, item)
+        assert set(search_items(packed, window)) == set(search_items(dynamic, window))
+        packed.validate()
+
+    def test_supports_subsequent_inserts_and_deletes(self):
+        entries = random_entries(500, seed=3)
+        tree = bulk_load(entries, max_entries=8)
+        tree.insert(Rect(5, 5, 6, 6), "new")
+        assert "new" in set(search_items(tree, Rect(5.5, 5.5, 5.6, 5.6)))
+        rect, item = entries[42]
+        assert tree.delete(rect, item)
+        assert len(tree) == 500
+        tree.validate()
+
+    def test_packed_tree_is_shallower_than_dynamic(self):
+        entries = random_entries(2_000, seed=4)
+        packed = bulk_load(entries, max_entries=10, fill=1.0)
+        dynamic = RStarTree(max_entries=10)
+        for rect, item in entries:
+            dynamic.insert(rect, item)
+        assert packed.height <= dynamic.height
+
+
+class TestPackNodes:
+    def test_exact_capacity(self):
+        entries = random_entries(32)
+        nodes = pack_nodes(entries, capacity=8, level=0)
+        assert len(nodes) == 4
+        assert all(len(node) == 8 for node in nodes)
+
+    def test_tail_rebalanced(self):
+        # 33 entries at capacity 8 leaves a 1-entry tail; rebalance donates
+        entries = random_entries(33)
+        nodes = pack_nodes(entries, capacity=8, level=0)
+        assert sum(len(node) for node in nodes) == 33
+        assert all(len(node) >= 4 for node in nodes)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            pack_nodes(random_entries(5), capacity=0, level=0)
+
+    def test_levels_assigned(self):
+        nodes = pack_nodes(random_entries(20), capacity=4, level=2)
+        assert all(node.level == 2 for node in nodes)

@@ -1,0 +1,127 @@
+"""CLI tests (argument parsing + command execution via capsys)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig10a_defaults(self):
+        args = build_parser().parse_args(["fig10a"])
+        assert args.command == "fig10a"
+        assert args.variables == [5, 10, 15]
+        assert args.cardinality == 2_000
+
+    def test_solve_arguments(self):
+        args = build_parser().parse_args(
+            ["solve", "--query", "chain", "--variables", "4", "--algorithm", "ils"]
+        )
+        assert args.query == "chain"
+        assert args.algorithm == "ils"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algorithm", "quantum"])
+
+
+class TestSolveCommand:
+    def run(self, argv, capsys):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["ils", "gils", "sea", "ibb"])
+    def test_solve_each_algorithm(self, algorithm, capsys):
+        out = self.run(
+            [
+                "solve",
+                "--query", "clique",
+                "--variables", "3",
+                "--cardinality", "80",
+                "--algorithm", algorithm,
+                "--seconds", "0.3",
+            ],
+            capsys,
+        )
+        assert "similarity=" in out
+        assert "instance:" in out
+
+    def test_solve_two_step(self, capsys):
+        out = self.run(
+            [
+                "solve",
+                "--query", "clique",
+                "--variables", "3",
+                "--cardinality", "60",
+                "--algorithm", "two-step",
+                "--seconds", "0.3",
+            ],
+            capsys,
+        )
+        assert "two-step" in out
+
+
+class TestFigureCommands:
+    def test_fig10a_prints_table(self, capsys):
+        assert main(
+            [
+                "fig10a",
+                "--variables", "3",
+                "--queries", "chain",
+                "--cardinality", "60",
+                "--repetitions", "1",
+                "--time-scale", "0.002",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10a" in out
+        assert "ILS" in out and "SEA" in out
+
+    def test_fig11_prints_table(self, capsys):
+        assert main(
+            [
+                "fig11",
+                "--variables", "3",
+                "--cardinality", "50",
+                "--repetitions", "1",
+                "--time-scale", "0.002",
+                "--ibb-cap", "20",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "SEA+IBB" in out
+
+
+class TestGenerateRerun:
+    def test_generate_then_rerun(self, tmp_path, capsys):
+        directory = str(tmp_path / "inst")
+        assert main([
+            "generate", directory,
+            "--query", "clique", "--variables", "3",
+            "--cardinality", "60", "--plant", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "planted=" in out
+        assert main([
+            "rerun", directory, "--algorithm", "ils", "--seconds", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "similarity=1.0000" in out  # planted solution must be found
+
+
+class TestCsvExport:
+    def test_fig10a_csv(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        assert main([
+            "fig10a", "--variables", "3", "--queries", "chain",
+            "--cardinality", "50", "--repetitions", "1",
+            "--time-scale", "0.002", "--csv", str(path),
+        ]) == 0
+        capsys.readouterr()
+        content = path.read_text()
+        assert content.startswith("query,n,density")
+        assert "chain,3," in content

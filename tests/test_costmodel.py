@@ -1,0 +1,79 @@
+"""[TSS98] R-tree cost model: prediction vs measurement."""
+
+import random
+import statistics
+
+import pytest
+
+from repro import Rect, bulk_load
+from repro.index import predicted_node_accesses, tree_level_stats
+from repro.index.queries import search_items
+
+
+def uniform_tree(count, seed=0, extent=0.01, max_entries=16):
+    rng = random.Random(seed)
+    entries = [
+        (Rect.from_center(rng.random(), rng.random(), extent, extent), index)
+        for index in range(count)
+    ]
+    return bulk_load(entries, max_entries=max_entries)
+
+
+class TestLevelStats:
+    def test_counts_every_non_root_node(self):
+        tree = uniform_tree(2_000)
+        stats = tree_level_stats(tree)
+        assert [s.level for s in stats] == sorted(s.level for s in stats)
+        total = sum(s.node_count for s in stats)
+        counted = -1  # exclude the root
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            counted += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        assert total == counted
+
+    def test_extents_positive(self):
+        tree = uniform_tree(500)
+        for level in tree_level_stats(tree):
+            assert level.avg_extent_x > 0
+            assert level.avg_extent_y > 0
+
+    def test_empty_tree(self):
+        tree = bulk_load([])
+        assert tree_level_stats(tree) == []
+        assert predicted_node_accesses(tree, 0.1, 0.1) == 1.0
+
+
+class TestPrediction:
+    def test_validation(self):
+        tree = uniform_tree(100)
+        with pytest.raises(ValueError):
+            predicted_node_accesses(tree, -0.1, 0.1)
+
+    def test_bigger_windows_cost_more(self):
+        tree = uniform_tree(3_000)
+        small = predicted_node_accesses(tree, 0.01, 0.01)
+        large = predicted_node_accesses(tree, 0.3, 0.3)
+        assert large > small > 1.0
+
+    @pytest.mark.parametrize("window_side", [0.02, 0.1, 0.3])
+    def test_prediction_close_to_measurement(self, window_side):
+        """Average measured node reads over many uniform windows must land
+        within 35% of the analytical prediction (uniform data is exactly
+        the model's assumption; the residual error is boundary effects)."""
+        tree = uniform_tree(5_000, seed=3)
+        rng = random.Random(7)
+        measurements = []
+        for _ in range(300):
+            x = rng.uniform(0, 1 - window_side)
+            y = rng.uniform(0, 1 - window_side)
+            tree.stats.reset()
+            list(search_items(tree, Rect(x, y, x + window_side, y + window_side)))
+            measurements.append(tree.stats.node_reads)
+        measured = statistics.fmean(measurements)
+        predicted = predicted_node_accesses(
+            tree, window_side, window_side, workspace=Rect(0, 0, 1, 1)
+        )
+        assert measured == pytest.approx(predicted, rel=0.35)

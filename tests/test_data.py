@@ -1,0 +1,213 @@
+"""Tests for dataset generation, density math and the dataset container."""
+
+import random
+import statistics
+
+import pytest
+
+from repro import Rect, SpatialDataset, UNIT_WORKSPACE, uniform_dataset
+from repro.data import (
+    density_for_extent,
+    density_of_rects,
+    extent_for_density,
+    gaussian_cluster_dataset,
+    gaussian_cluster_rects,
+    plant_clique_solution,
+    uniform_rects,
+)
+from repro.index.queries import search_items
+
+
+class TestDensityMath:
+    def test_roundtrip(self):
+        extent = extent_for_density(10_000, 0.2)
+        assert density_for_extent(10_000, extent) == pytest.approx(0.2)
+
+    def test_extent_formula(self):
+        # d = N·|r|²  =>  |r| = sqrt(d/N)
+        assert extent_for_density(100, 1.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extent_for_density(0, 0.1)
+        with pytest.raises(ValueError):
+            extent_for_density(10, -0.1)
+        with pytest.raises(ValueError):
+            density_for_extent(10, -1.0)
+
+    def test_density_of_rects(self):
+        rects = [Rect(0, 0, 0.5, 0.5), Rect(0.5, 0.5, 1, 1)]
+        assert density_of_rects(rects, UNIT_WORKSPACE) == pytest.approx(0.5)
+
+    def test_degenerate_workspace_rejected(self):
+        with pytest.raises(ValueError):
+            density_of_rects([], Rect(0, 0, 0, 1))
+
+
+class TestUniformGenerator:
+    def test_exact_density_without_jitter(self):
+        rng = random.Random(1)
+        rects = uniform_rects(1_000, 0.3, rng)
+        assert density_of_rects(rects, UNIT_WORKSPACE) == pytest.approx(0.3)
+
+    def test_all_rects_are_squares(self):
+        rng = random.Random(2)
+        for rect in uniform_rects(50, 0.1, rng):
+            assert rect.width == pytest.approx(rect.height)
+
+    def test_jitter_keeps_mean_extent(self):
+        rng = random.Random(3)
+        rects = uniform_rects(5_000, 0.2, rng, extent_jitter=0.5)
+        expected = extent_for_density(5_000, 0.2)
+        mean_extent = statistics.fmean(r.width for r in rects)
+        assert mean_extent == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        assert uniform_rects(20, 0.1, random.Random(9)) == uniform_rects(
+            20, 0.1, random.Random(9)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_rects(0, 0.1, random.Random(0))
+        with pytest.raises(ValueError):
+            uniform_rects(10, 0.1, random.Random(0), extent_jitter=1.0)
+
+    def test_custom_workspace_scales_extent(self):
+        rng = random.Random(4)
+        workspace = Rect(0, 0, 10, 10)
+        rects = uniform_rects(100, 0.25, rng, workspace=workspace)
+        assert density_of_rects(rects, workspace) == pytest.approx(0.25)
+
+
+class TestGaussianGenerator:
+    def test_density_preserved(self):
+        rng = random.Random(5)
+        rects = gaussian_cluster_rects(2_000, 0.15, rng)
+        assert density_of_rects(rects, UNIT_WORKSPACE) == pytest.approx(0.15, rel=1e-6)
+
+    def test_clustering_is_tighter_than_uniform(self):
+        rng = random.Random(6)
+        clustered = gaussian_cluster_rects(2_000, 0.1, rng, clusters=3, spread=0.02)
+        uniform = uniform_rects(2_000, 0.1, random.Random(6))
+
+        def center_spread(rects):
+            xs = [r.center()[0] for r in rects]
+            ys = [r.center()[1] for r in rects]
+            return statistics.pstdev(xs) + statistics.pstdev(ys)
+
+        assert center_spread(clustered) < center_spread(uniform)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_cluster_rects(10, 0.1, random.Random(0), clusters=0)
+        with pytest.raises(ValueError):
+            gaussian_cluster_rects(10, 0.1, random.Random(0), spread=0.0)
+
+    def test_dataset_wrapper(self):
+        dataset = gaussian_cluster_dataset(300, 0.1, random.Random(7))
+        assert len(dataset) == 300
+        assert dataset.name == "clustered"
+
+
+class TestPlanting:
+    def test_planted_rects_share_a_point(self):
+        rng = random.Random(8)
+        rect_lists = [uniform_rects(100, 0.05, rng) for _ in range(4)]
+        planted = plant_clique_solution(rect_lists, rng)
+        chosen = [rect_lists[i][object_id] for i, object_id in enumerate(planted)]
+        for a in chosen:
+            for b in chosen:
+                assert a.intersects(b)
+
+    def test_extents_preserved(self):
+        rng = random.Random(9)
+        rect_lists = [uniform_rects(100, 0.05, rng) for _ in range(3)]
+        before = [[r.width for r in rects] for rects in rect_lists]
+        planted = plant_clique_solution(rect_lists, rng)
+        for i, object_id in enumerate(planted):
+            assert rect_lists[i][object_id].width == pytest.approx(before[i][object_id])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plant_clique_solution([], random.Random(0))
+
+
+class TestSpatialDataset:
+    def test_container_protocol(self):
+        dataset = uniform_dataset(50, 0.1, random.Random(10), name="test")
+        assert len(dataset) == 50
+        assert dataset[0] == dataset.rects[0]
+        assert list(iter(dataset)) == dataset.rects
+        assert "test" in repr(dataset)
+
+    def test_index_is_consistent_with_table(self):
+        dataset = uniform_dataset(500, 0.2, random.Random(11))
+        window = Rect(0.4, 0.4, 0.6, 0.6)
+        expected = {i for i, r in enumerate(dataset.rects) if r.intersects(window)}
+        assert set(search_items(dataset.tree, window)) == expected
+
+    def test_density_measurement(self):
+        dataset = uniform_dataset(1_000, 0.3, random.Random(12))
+        assert dataset.density() == pytest.approx(0.3)
+        expected_extent = extent_for_density(1_000, 0.3)
+        assert dataset.average_extent() == pytest.approx(expected_extent)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SpatialDataset([])
+
+    def test_rejects_mismatched_tree(self):
+        from repro import bulk_load
+
+        tree = bulk_load([(Rect(0, 0, 1, 1), 0)])
+        with pytest.raises(ValueError):
+            SpatialDataset([Rect(0, 0, 1, 1), Rect(1, 1, 2, 2)], tree=tree)
+
+    def test_custom_max_entries(self):
+        dataset = uniform_dataset(200, 0.1, random.Random(13), max_entries=4)
+        assert dataset.tree.max_entries == 4
+
+
+class TestZipfGenerator:
+    def test_density_exact(self):
+        import random as _random
+
+        from repro.data import zipf_rects
+        from repro import UNIT_WORKSPACE
+        from repro.data import density_of_rects
+
+        rng = _random.Random(20)
+        rects = zipf_rects(1_000, 0.25, rng)
+        assert density_of_rects(rects, UNIT_WORKSPACE) == pytest.approx(0.25)
+
+    def test_areas_are_skewed(self):
+        import random as _random
+
+        from repro.data import zipf_rects
+
+        rng = _random.Random(21)
+        rects = zipf_rects(1_000, 0.25, rng, skew=1.5)
+        areas = sorted((r.area() for r in rects), reverse=True)
+        # the largest object dwarfs the median one
+        assert areas[0] > 50 * areas[len(areas) // 2]
+
+    def test_validation(self):
+        import random as _random
+
+        from repro.data import zipf_rects
+
+        with pytest.raises(ValueError):
+            zipf_rects(0, 0.1, _random.Random(0))
+        with pytest.raises(ValueError):
+            zipf_rects(10, 0.1, _random.Random(0), skew=0.0)
+
+    def test_dataset_wrapper(self):
+        import random as _random
+
+        from repro import zipf_dataset
+
+        dataset = zipf_dataset(200, 0.2, _random.Random(22))
+        assert len(dataset) == 200
+        assert dataset.name == "zipf"
+        assert dataset.density() == pytest.approx(0.2)

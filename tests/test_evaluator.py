@@ -1,0 +1,82 @@
+"""QueryEvaluator tests."""
+
+import random
+
+import pytest
+
+from repro import QueryGraph, hard_instance
+from repro.core.evaluator import QueryEvaluator
+from repro.geometry import INSIDE
+from repro.query import ProblemInstance
+
+
+class TestConstruction:
+    def test_rejects_disconnected_queries(self):
+        query = QueryGraph(4).add_edge(0, 1).add_edge(2, 3)
+        instance = hard_instance(QueryGraph.chain(4), 30, seed=0)
+        broken = ProblemInstance(query=query, datasets=instance.datasets)
+        with pytest.raises(ValueError, match="disconnected"):
+            QueryEvaluator(broken)
+
+    def test_adjacency_tables(self, tiny_chain_instance):
+        evaluator = QueryEvaluator(tiny_chain_instance)
+        assert evaluator.degrees == [1, 2, 2, 1]
+        assert [j for j, _p in evaluator.neighbors[1]] == [0, 2]
+
+
+class TestCounting:
+    def test_count_violations_matches_manual(self, tiny_clique_instance):
+        evaluator = QueryEvaluator(tiny_clique_instance)
+        rng = random.Random(0)
+        for _ in range(50):
+            values = evaluator.random_values(rng)
+            manual = 0
+            for i, j, predicate in tiny_clique_instance.query.edges():
+                rect_i = tiny_clique_instance.datasets[i][values[i]]
+                rect_j = tiny_clique_instance.datasets[j][values[j]]
+                if not predicate.test(rect_i, rect_j):
+                    manual += 1
+            assert evaluator.count_violations(values) == manual
+
+    def test_satisfied_counts_sum_to_twice_edges(self, tiny_clique_instance):
+        evaluator = QueryEvaluator(tiny_clique_instance)
+        rng = random.Random(1)
+        for _ in range(20):
+            values = evaluator.random_values(rng)
+            counts = evaluator.satisfied_counts(values)
+            satisfied_edges = evaluator.num_constraints - evaluator.count_violations(
+                values
+            )
+            assert sum(counts) == 2 * satisfied_edges
+
+    def test_pair_satisfied_orientation(self):
+        query = QueryGraph(2).add_edge(0, 1, INSIDE)
+        instance = hard_instance(query, 30, seed=2)
+        evaluator = QueryEvaluator(instance)
+        rects = evaluator.rects
+        for a in range(5):
+            for b in range(5):
+                expected = rects[1][b].contains(rects[0][a])
+                assert evaluator.pair_satisfied(0, a, 1, b) == expected
+                assert evaluator.pair_satisfied(1, b, 0, a) == expected
+
+    def test_similarity_normalisation(self, tiny_clique_instance):
+        evaluator = QueryEvaluator(tiny_clique_instance)
+        assert evaluator.similarity(0) == 1.0
+        assert evaluator.similarity(evaluator.num_constraints) == 0.0
+        assert evaluator.similarity(3) == pytest.approx(1 - 3 / 6)
+
+
+class TestRandomSolutions:
+    def test_values_in_domain(self, tiny_chain_instance):
+        evaluator = QueryEvaluator(tiny_chain_instance)
+        rng = random.Random(3)
+        for _ in range(100):
+            values = evaluator.random_values(rng)
+            assert len(values) == 4
+            assert all(0 <= v < 60 for v in values)
+
+    def test_random_state_consistent(self, tiny_chain_instance):
+        evaluator = QueryEvaluator(tiny_chain_instance)
+        state = evaluator.random_state(random.Random(4))
+        state.check_consistency()

@@ -1,0 +1,134 @@
+"""QueryGraph construction, topology and predicate-orientation tests."""
+
+import random
+
+import pytest
+
+from repro import QueryGraph, Rect
+from repro.geometry import CONTAINS, INSIDE, INTERSECTS
+
+
+class TestConstruction:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            QueryGraph(1)
+
+    def test_add_edge_validates_indices(self):
+        graph = QueryGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            graph.add_edge(-1, 0)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_add_edge_is_chainable(self):
+        graph = QueryGraph(3).add_edge(0, 1).add_edge(1, 2)
+        assert graph.num_edges == 2
+
+    def test_re_adding_overwrites_predicate(self):
+        graph = QueryGraph(2).add_edge(0, 1, INTERSECTS)
+        graph.add_edge(0, 1, INSIDE)
+        assert graph.num_edges == 1
+        assert graph.predicate(0, 1) is INSIDE
+
+
+class TestPredicateOrientation:
+    def test_asymmetric_edge_views(self):
+        graph = QueryGraph(2).add_edge(0, 1, INSIDE)
+        assert graph.predicate(0, 1) is INSIDE
+        assert graph.predicate(1, 0) is CONTAINS
+
+    def test_reversed_insertion_canonicalises(self):
+        # add_edge(1, 0, INSIDE) means r1 inside r0
+        graph = QueryGraph(2).add_edge(1, 0, INSIDE)
+        assert graph.predicate(1, 0) is INSIDE
+        assert graph.predicate(0, 1) is CONTAINS
+        [(i, j, predicate)] = list(graph.edges())
+        assert (i, j) == (0, 1)
+        # canonical storage keeps the i<j orientation: r0 contains r1
+        small, big = Rect(1, 1, 2, 2), Rect(0, 0, 3, 3)
+        assert predicate.test(big, small)
+
+    def test_neighbors_oriented_from_each_side(self):
+        graph = QueryGraph(3).add_edge(0, 1, INSIDE).add_edge(1, 2)
+        assert graph.neighbors(0) == {1: INSIDE}
+        assert graph.neighbors(1) == {0: CONTAINS, 2: INTERSECTS}
+
+
+class TestTopologies:
+    def test_chain(self):
+        graph = QueryGraph.chain(5)
+        assert graph.num_edges == 4
+        assert graph.is_acyclic()
+        assert graph.is_connected()
+        assert not graph.is_clique()
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+    def test_clique(self):
+        graph = QueryGraph.clique(5)
+        assert graph.num_edges == 10
+        assert graph.is_clique()
+        assert not graph.is_acyclic()
+        assert all(graph.degree(i) == 4 for i in range(5))
+
+    def test_two_variable_clique_is_a_chain(self):
+        graph = QueryGraph.clique(2)
+        assert graph.num_edges == 1
+        assert graph.is_clique()
+        assert graph.is_acyclic()
+
+    def test_cycle(self):
+        graph = QueryGraph.cycle(4)
+        assert graph.num_edges == 4
+        assert not graph.is_acyclic()
+        assert graph.is_connected()
+        with pytest.raises(ValueError):
+            QueryGraph.cycle(2)
+
+    def test_star(self):
+        graph = QueryGraph.star(5, center=2)
+        assert graph.num_edges == 4
+        assert graph.degree(2) == 4
+        assert graph.is_acyclic()
+
+    def test_random_connected(self):
+        rng = random.Random(0)
+        for num_edges in (4, 6, 10):
+            graph = QueryGraph.random_connected(5, num_edges, rng)
+            assert graph.num_edges == num_edges
+            assert graph.is_connected()
+
+    def test_random_connected_bounds(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            QueryGraph.random_connected(5, 3, rng)  # < n-1
+        with pytest.raises(ValueError):
+            QueryGraph.random_connected(5, 11, rng)  # > n(n-1)/2
+
+    def test_random_connected_extremes(self):
+        rng = random.Random(1)
+        tree = QueryGraph.random_connected(6, 5, rng)
+        assert tree.is_acyclic()
+        full = QueryGraph.random_connected(6, 15, rng)
+        assert full.is_clique()
+
+
+class TestInspection:
+    def test_edges_sorted_canonical(self):
+        graph = QueryGraph(4).add_edge(3, 1).add_edge(2, 0).add_edge(0, 1)
+        assert [(i, j) for i, j, _p in graph.edges()] == [(0, 1), (0, 2), (1, 3)]
+
+    def test_has_edge(self):
+        graph = QueryGraph.chain(3)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+
+    def test_disconnected_detected(self):
+        graph = QueryGraph(4).add_edge(0, 1).add_edge(2, 3)
+        assert not graph.is_connected()
+
+    def test_all_intersects(self):
+        assert QueryGraph.clique(3).all_intersects()
+        assert not QueryGraph(2).add_edge(0, 1, INSIDE).all_intersects()

@@ -1,0 +1,82 @@
+"""Hard-region instance generation tests."""
+
+import pytest
+
+from repro import QueryGraph, hard_instance, planted_instance
+from repro.core.evaluator import QueryEvaluator
+from repro.geometry import INSIDE
+from repro.query import ProblemInstance
+from repro.query.selectivity import density_for_solutions
+
+
+class TestProblemInstance:
+    def test_shape_validated(self, tiny_chain_instance):
+        with pytest.raises(ValueError):
+            ProblemInstance(
+                query=QueryGraph.chain(3), datasets=tiny_chain_instance.datasets
+            )
+
+    def test_accessors(self, tiny_chain_instance):
+        instance = tiny_chain_instance
+        assert instance.num_variables == 4
+        assert instance.cardinalities == (60, 60, 60, 60)
+
+    def test_problem_size_formula(self, tiny_chain_instance):
+        import math
+
+        assert tiny_chain_instance.problem_size() == pytest.approx(4 * math.log2(60))
+
+
+class TestHardInstance:
+    def test_density_matches_target(self):
+        query = QueryGraph.clique(4)
+        instance = hard_instance(query, cardinality=200, seed=0)
+        expected_density = density_for_solutions(query, 200, 1.0)
+        assert instance.density == pytest.approx(expected_density)
+        for dataset in instance.datasets:
+            assert dataset.density() == pytest.approx(expected_density, rel=1e-6)
+
+    def test_expected_solutions_recorded(self):
+        instance = hard_instance(QueryGraph.chain(4), 200, seed=0, target_solutions=5.0)
+        assert instance.expected_solutions == pytest.approx(5.0)
+
+    def test_deterministic_by_seed(self):
+        a = hard_instance(QueryGraph.chain(3), 50, seed=4)
+        b = hard_instance(QueryGraph.chain(3), 50, seed=4)
+        assert [d.rects for d in a.datasets] == [d.rects for d in b.datasets]
+
+    def test_different_seeds_differ(self):
+        a = hard_instance(QueryGraph.chain(3), 50, seed=4)
+        b = hard_instance(QueryGraph.chain(3), 50, seed=5)
+        assert [d.rects for d in a.datasets] != [d.rects for d in b.datasets]
+
+    def test_datasets_named(self):
+        instance = hard_instance(QueryGraph.chain(3), 50, seed=0)
+        assert [d.name for d in instance.datasets] == ["D0", "D1", "D2"]
+
+
+class TestPlantedInstance:
+    def test_planted_tuple_is_exact(self):
+        for seed in range(5):
+            instance = planted_instance(QueryGraph.clique(5), 100, seed=seed)
+            evaluator = QueryEvaluator(instance)
+            assert instance.planted is not None
+            assert evaluator.count_violations(list(instance.planted)) == 0
+
+    def test_planted_works_for_chains_too(self):
+        instance = planted_instance(QueryGraph.chain(4), 100, seed=1)
+        evaluator = QueryEvaluator(instance)
+        assert evaluator.count_violations(list(instance.planted)) == 0
+
+    def test_rejects_non_intersects_queries(self):
+        query = QueryGraph(3).add_edge(0, 1).add_edge(1, 2, INSIDE)
+        with pytest.raises(ValueError, match="all-intersects"):
+            planted_instance(query, 100, seed=0)
+
+    def test_density_near_target(self):
+        query = QueryGraph.clique(4)
+        instance = planted_instance(query, 400, seed=2)
+        # planting re-centres one rect per dataset but keeps extents
+        expected = density_for_solutions(query, 400, 1.0)
+        for dataset in instance.datasets:
+            assert dataset.density() == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,141 @@
+"""Indexed Branch and Bound: optimality against the brute-force oracle."""
+
+import random
+
+import pytest
+
+from repro import (
+    Budget,
+    IBBConfig,
+    QueryGraph,
+    hard_instance,
+    indexed_branch_and_bound,
+    planted_instance,
+)
+from repro.core.evaluator import QueryEvaluator
+from repro.core.ibb import connectivity_order
+from repro.joins import brute_force_best
+
+
+class TestConnectivityOrder:
+    def test_is_a_permutation(self, tiny_chain_instance):
+        order = connectivity_order(QueryEvaluator(tiny_chain_instance))
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_every_later_variable_touches_the_prefix(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            query = QueryGraph.random_connected(6, 8, rng)
+            instance = hard_instance(query, 20, seed=1)
+            evaluator = QueryEvaluator(instance)
+            order = connectivity_order(evaluator)
+            seen = {order[0]}
+            for variable in order[1:]:
+                assert any(j in seen for j, _p in evaluator.neighbors[variable])
+                seen.add(variable)
+
+    def test_chain_order_is_a_sweep(self, tiny_chain_instance):
+        order = connectivity_order(QueryEvaluator(tiny_chain_instance))
+        # starting from an interior variable, neighbors must be contiguous
+        positions = {v: i for i, v in enumerate(order)}
+        for i, j, _p in tiny_chain_instance.query.edges():
+            assert abs(positions[i] - positions[j]) >= 1  # sanity
+        # every prefix of the order induces a connected subchain
+        for length in range(2, 5):
+            prefix = sorted(order[:length])
+            assert prefix == list(range(prefix[0], prefix[0] + length))
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_cliques(self, seed):
+        instance = hard_instance(QueryGraph.clique(3), 25, seed=seed)
+        _, oracle_violations = brute_force_best(instance)
+        result = indexed_branch_and_bound(instance)
+        assert result.best_violations == oracle_violations
+        assert result.stats["proven_optimal"]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_chains(self, seed):
+        instance = hard_instance(QueryGraph.chain(4), 15, seed=100 + seed)
+        _, oracle_violations = brute_force_best(instance)
+        result = indexed_branch_and_bound(instance)
+        assert result.best_violations == oracle_violations
+
+    def test_given_order_matches_connectivity_order(self):
+        instance = hard_instance(QueryGraph.cycle(4), 15, seed=3)
+        a = indexed_branch_and_bound(instance)
+        b = indexed_branch_and_bound(
+            instance, config=IBBConfig(use_connectivity_order=False)
+        )
+        assert a.best_violations == b.best_violations
+
+    def test_finds_planted_exact_and_stops(self):
+        instance = planted_instance(QueryGraph.clique(3), 60, seed=4)
+        result = indexed_branch_and_bound(instance)
+        assert result.is_exact
+        assert result.stats["proven_optimal"]
+
+
+class TestBoundSeeding:
+    def test_seed_bound_preserves_optimality(self):
+        instance = hard_instance(QueryGraph.clique(3), 25, seed=9)
+        evaluator = QueryEvaluator(instance)
+        plain = indexed_branch_and_bound(instance)
+        # seed with a mediocre random solution
+        rng = random.Random(0)
+        seed_values = tuple(evaluator.random_values(rng))
+        seeded = indexed_branch_and_bound(
+            instance,
+            initial_bound=evaluator.count_violations(seed_values),
+            initial_assignment=seed_values,
+        )
+        assert seeded.best_violations == plain.best_violations
+
+    def test_tight_bound_prunes_nodes(self):
+        instance = hard_instance(QueryGraph.clique(3), 40, seed=10)
+        plain = indexed_branch_and_bound(instance)
+        seeded = indexed_branch_and_bound(
+            instance,
+            initial_bound=plain.best_violations + 1,
+            initial_assignment=plain.best_assignment,
+        )
+        assert seeded.stats["nodes_expanded"] <= plain.stats["nodes_expanded"]
+        assert seeded.best_violations == plain.best_violations
+
+    def test_optimal_seed_returned_unchanged(self):
+        instance = hard_instance(QueryGraph.clique(3), 25, seed=11)
+        optimal = indexed_branch_and_bound(instance)
+        reseeded = indexed_branch_and_bound(
+            instance,
+            initial_bound=optimal.best_violations,
+            initial_assignment=optimal.best_assignment,
+        )
+        assert reseeded.best_violations == optimal.best_violations
+        assert reseeded.best_assignment == optimal.best_assignment
+
+    def test_bound_requires_assignment(self):
+        instance = hard_instance(QueryGraph.clique(3), 25, seed=12)
+        with pytest.raises(ValueError):
+            indexed_branch_and_bound(instance, initial_bound=2)
+
+
+class TestAnytimeBehaviour:
+    def test_budget_exhaustion_returns_best_so_far(self):
+        instance = hard_instance(QueryGraph.clique(4), 60, seed=13)
+        result = indexed_branch_and_bound(instance, budget=Budget.iterations(500))
+        evaluator = QueryEvaluator(instance)
+        assert evaluator.count_violations(list(result.best_assignment)) == (
+            result.best_violations
+        )
+        if not result.is_exact:
+            assert not result.stats["proven_optimal"]
+
+    def test_forced_exhaustion_counts_solutions(self):
+        # stop_at_violations = -1 forces full exploration even after exact
+        instance = planted_instance(QueryGraph.clique(3), 25, seed=14)
+        result = indexed_branch_and_bound(
+            instance, config=IBBConfig(stop_at_violations=-1)
+        )
+        assert result.is_exact
+        assert result.stats["proven_optimal"]

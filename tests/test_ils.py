@@ -1,0 +1,116 @@
+"""Indexed Local Search tests."""
+
+import random
+
+import pytest
+
+from repro import Budget, QueryGraph, hard_instance, indexed_local_search, planted_instance
+from repro.core.evaluator import QueryEvaluator
+from repro.core.ils import ILSConfig, _improve_once
+
+
+class TestConfig:
+    def test_random_tries_validated(self):
+        with pytest.raises(ValueError):
+            ILSConfig(random_tries=0)
+
+
+class TestClimbing:
+    def test_improve_once_strictly_reduces_violations(self, tiny_clique_instance):
+        evaluator = QueryEvaluator(tiny_clique_instance)
+        rng = random.Random(0)
+        config = ILSConfig()
+        for _ in range(20):
+            state = evaluator.random_state(rng)
+            before = state.violations
+            improved = _improve_once(state, evaluator, config, rng)
+            if improved:
+                assert state.violations < before
+            state.check_consistency()
+
+    def test_local_maximum_is_stable(self, tiny_clique_instance):
+        evaluator = QueryEvaluator(tiny_clique_instance)
+        rng = random.Random(1)
+        config = ILSConfig()
+        state = evaluator.random_state(rng)
+        while _improve_once(state, evaluator, config, rng):
+            pass
+        # at a local maximum no single-variable change can improve: verify
+        # exhaustively on this brute-forceable instance
+        best = state.violations
+        for variable in range(4):
+            original = state.values[variable]
+            for candidate in range(60):
+                state.set_value(variable, candidate)
+                assert state.violations >= best
+            state.set_value(variable, original)
+
+
+class TestRuns:
+    def test_deterministic_given_seed(self, small_clique_instance):
+        a = indexed_local_search(small_clique_instance, Budget.iterations(200), seed=5)
+        b = indexed_local_search(small_clique_instance, Budget.iterations(200), seed=5)
+        assert a.best_assignment == b.best_assignment
+        assert a.best_violations == b.best_violations
+
+    def test_iteration_budget_respected(self, small_clique_instance):
+        result = indexed_local_search(
+            small_clique_instance, Budget.iterations(50), seed=0
+        )
+        assert result.iterations == 50
+
+    def test_result_consistency(self, small_clique_instance):
+        result = indexed_local_search(
+            small_clique_instance, Budget.iterations(300), seed=1
+        )
+        evaluator = QueryEvaluator(small_clique_instance)
+        assert evaluator.count_violations(list(result.best_assignment)) == (
+            result.best_violations
+        )
+        assert result.best_similarity == pytest.approx(
+            evaluator.similarity(result.best_violations)
+        )
+        assert result.algorithm == "ILS"
+        assert result.stats["local_maxima"] == result.milestones
+
+    def test_trace_is_strictly_improving(self, small_clique_instance):
+        result = indexed_local_search(
+            small_clique_instance, Budget.iterations(500), seed=2
+        )
+        violations = [point.violations for point in result.trace.points]
+        assert violations == sorted(violations, reverse=True)
+        assert len(set(violations)) == len(violations)
+
+    def test_finds_planted_exact_solution(self):
+        instance = planted_instance(QueryGraph.clique(4), 150, seed=3)
+        result = indexed_local_search(instance, Budget.iterations(5_000), seed=3)
+        assert result.is_exact
+        assert result.best_similarity == 1.0
+
+    def test_stop_on_exact_halts_early(self):
+        instance = planted_instance(QueryGraph.clique(4), 150, seed=3)
+        result = indexed_local_search(instance, Budget.iterations(100_000), seed=3)
+        assert result.is_exact
+        assert result.iterations < 100_000
+
+
+class TestRandomReassignmentAblation:
+    def test_runs_and_labels_itself(self, small_clique_instance):
+        config = ILSConfig(use_index=False, random_tries=4)
+        result = indexed_local_search(
+            small_clique_instance, Budget.iterations(200), seed=4, config=config
+        )
+        assert result.algorithm == "LS-random"
+        assert 0 <= result.best_violations <= 10
+
+    def test_indexed_version_is_no_worse(self, small_clique_instance):
+        indexed = indexed_local_search(
+            small_clique_instance, Budget.iterations(400), seed=6
+        )
+        randomised = indexed_local_search(
+            small_clique_instance,
+            Budget.iterations(400),
+            seed=6,
+            config=ILSConfig(use_index=False, random_tries=4),
+        )
+        assert indexed.best_violations <= randomised.best_violations

@@ -1,0 +1,115 @@
+"""Predicate search and k-NN query tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, bulk_load
+from repro.geometry import CONTAINS, INSIDE, NORTHEAST, WithinDistance
+from repro.index.queries import nearest_neighbors, search_predicate
+
+from conftest import rect_lists, rects
+
+
+def make_tree(rect_list, max_entries=4):
+    return bulk_load(list(zip(rect_list, range(len(rect_list)))), max_entries=max_entries)
+
+
+class TestPredicateSearch:
+    @settings(max_examples=30, deadline=None)
+    @given(rect_lists(max_length=80), rects())
+    def test_inside_matches_linear_scan(self, rect_list, window):
+        tree = make_tree(rect_list)
+        expected = {i for i, r in enumerate(rect_list) if window.contains(r)}
+        got = {item for _r, item in search_predicate(tree, INSIDE, window)}
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(rect_lists(max_length=80), rects())
+    def test_contains_matches_linear_scan(self, rect_list, window):
+        tree = make_tree(rect_list)
+        expected = {i for i, r in enumerate(rect_list) if r.contains(window)}
+        got = {item for _r, item in search_predicate(tree, CONTAINS, window)}
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(rect_lists(max_length=80), rects())
+    def test_northeast_matches_linear_scan(self, rect_list, window):
+        tree = make_tree(rect_list)
+        expected = {
+            i
+            for i, r in enumerate(rect_list)
+            if r.xmin >= window.xmax and r.ymin >= window.ymax
+        }
+        got = {item for _r, item in search_predicate(tree, NORTHEAST, window)}
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rect_lists(max_length=80),
+        rects(),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_within_distance_matches_linear_scan(self, rect_list, window, distance):
+        tree = make_tree(rect_list)
+        predicate = WithinDistance(distance)
+        expected = {
+            i for i, r in enumerate(rect_list) if r.min_distance(window) <= distance
+        }
+        got = {item for _r, item in search_predicate(tree, predicate, window)}
+        assert got == expected
+
+    def test_empty_tree(self):
+        tree = bulk_load([])
+        assert list(search_predicate(tree, INSIDE, Rect(0, 0, 1, 1))) == []
+
+
+class TestNearestNeighbors:
+    def brute_knn(self, rect_list, x, y, k):
+        point = Rect(x, y, x, y)
+        scored = sorted(
+            (rect.min_distance(point), index) for index, rect in enumerate(rect_list)
+        )
+        return [distance for distance, _i in scored[:k]]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            nearest_neighbors(bulk_load([]), 0, 0, k=0)
+
+    def test_empty_tree(self):
+        assert nearest_neighbors(bulk_load([]), 0, 0, k=3) == []
+
+    def test_fewer_than_k(self):
+        tree = make_tree([Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)])
+        assert len(nearest_neighbors(tree, 0, 0, k=5)) == 2
+
+    def test_simple_ordering(self):
+        rect_list = [Rect(10, 0, 11, 1), Rect(1, 0, 2, 1), Rect(5, 0, 6, 1)]
+        tree = make_tree(rect_list)
+        result = nearest_neighbors(tree, 0, 0.5, k=3)
+        assert [item for _d, _r, item in result] == [1, 2, 0]
+
+    def test_distance_zero_when_containing(self):
+        tree = make_tree([Rect(0, 0, 10, 10)])
+        [(distance, _rect, item)] = nearest_neighbors(tree, 5, 5, k=1)
+        assert distance == 0.0
+        assert item == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rect_lists(min_length=1, max_length=60),
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_distances_match_brute_force(self, rect_list, x, y, k):
+        tree = make_tree(rect_list)
+        result = nearest_neighbors(tree, x, y, k=k)
+        got = [distance for distance, _r, _i in result]
+        expected = self.brute_knn(rect_list, x, y, k)
+        assert got == pytest.approx(expected)
+        # result must be sorted by distance
+        assert got == sorted(got)

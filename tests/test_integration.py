@@ -1,0 +1,146 @@
+"""End-to-end integration tests across the whole stack."""
+
+import random
+
+import pytest
+
+from repro import (
+    Budget,
+    QueryGraph,
+    Rect,
+    guided_indexed_local_search,
+    hard_instance,
+    indexed_branch_and_bound,
+    indexed_local_search,
+    load_npz,
+    planted_instance,
+    save_npz,
+    spatial_evolutionary_algorithm,
+    two_step,
+)
+from repro.core.evaluator import QueryEvaluator
+from repro.geometry import INSIDE, WithinDistance
+from repro.joins import brute_force_best, window_reduction_join
+from repro.query import ProblemInstance
+
+
+class TestHeuristicsBeatRandomBaseline:
+    @pytest.mark.parametrize(
+        "run",
+        [
+            lambda inst, budget, seed: indexed_local_search(inst, budget, seed),
+            lambda inst, budget, seed: guided_indexed_local_search(inst, budget, seed),
+            lambda inst, budget, seed: spatial_evolutionary_algorithm(
+                inst, budget, seed
+            ),
+        ],
+        ids=["ILS", "GILS", "SEA"],
+    )
+    def test_better_than_mean_random_solution(self, run):
+        instance = hard_instance(QueryGraph.clique(5), 300, seed=77)
+        evaluator = QueryEvaluator(instance)
+        rng = random.Random(0)
+        random_mean = sum(
+            evaluator.count_violations(evaluator.random_values(rng))
+            for _ in range(200)
+        ) / 200
+        result = run(instance, Budget.iterations(100), 0)
+        assert result.best_violations < random_mean
+
+
+class TestPipelineOnPlantedInstances:
+    def test_two_step_retrieves_the_planted_solution(self):
+        instance = planted_instance(QueryGraph.clique(4), 200, seed=88)
+        result = two_step(
+            instance,
+            "sea",
+            heuristic_budget=Budget.iterations(100),
+            systematic_budget=Budget.iterations(10_000_000),
+            seed=88,
+        )
+        assert result.is_exact
+
+    def test_exact_join_finds_only_valid_tuples(self):
+        instance = planted_instance(QueryGraph.chain(4), 100, seed=89)
+        evaluator = QueryEvaluator(instance)
+        solutions = list(window_reduction_join(instance))
+        assert instance.planted in solutions
+        for solution in solutions:
+            assert evaluator.count_violations(solution) == 0
+
+
+class TestHeuristicSystematicAgreement:
+    def test_heuristic_never_beats_proven_optimum(self):
+        for seed in range(3):
+            instance = hard_instance(QueryGraph.clique(3), 30, seed=90 + seed)
+            optimum = indexed_branch_and_bound(instance)
+            assert optimum.stats["proven_optimal"]
+            heuristic = indexed_local_search(instance, Budget.iterations(500), seed)
+            assert heuristic.best_violations >= optimum.best_violations
+            _, oracle = brute_force_best(instance)
+            assert optimum.best_violations == oracle
+
+
+class TestPersistedDatasetsAreSearchable:
+    def test_full_cycle(self, tmp_path):
+        instance = hard_instance(QueryGraph.chain(3), 150, seed=91)
+        paths = []
+        for index, dataset in enumerate(instance.datasets):
+            path = tmp_path / f"d{index}.npz"
+            save_npz(dataset, path)
+            paths.append(path)
+        reloaded = ProblemInstance(
+            query=QueryGraph.chain(3),
+            datasets=[load_npz(path) for path in paths],
+        )
+        a = indexed_local_search(instance, Budget.iterations(200), seed=91)
+        b = indexed_local_search(reloaded, Budget.iterations(200), seed=91)
+        assert a.best_assignment == b.best_assignment
+        assert a.best_violations == b.best_violations
+
+
+class TestExtendedPredicateQueries:
+    def test_mixed_predicate_query_end_to_end(self):
+        """§7: 'easily extensible to other spatial predicates' — run the
+        full heuristic stack on a query mixing intersects / inside / near."""
+        query = QueryGraph(4)
+        query.add_edge(0, 1)                          # intersects
+        query.add_edge(1, 2, INSIDE)                  # r1 inside r2
+        query.add_edge(2, 3, WithinDistance(0.05))    # near
+        instance = hard_instance(query, 200, seed=92, target_solutions=5.0)
+        evaluator = QueryEvaluator(instance)
+        for run in (
+            indexed_local_search(instance, Budget.iterations(200), seed=1),
+            guided_indexed_local_search(instance, Budget.iterations(200), seed=1),
+            spatial_evolutionary_algorithm(instance, Budget.iterations(10), seed=1),
+        ):
+            assert evaluator.count_violations(list(run.best_assignment)) == (
+                run.best_violations
+            )
+
+    def test_ibb_optimal_on_mixed_predicates(self):
+        query = QueryGraph(3).add_edge(0, 1, INSIDE).add_edge(1, 2)
+        instance = hard_instance(query, 25, seed=93, target_solutions=2.0)
+        _, oracle = brute_force_best(instance)
+        result = indexed_branch_and_bound(instance)
+        assert result.best_violations == oracle
+
+
+class TestSelfJoin:
+    def test_same_dataset_for_all_variables(self):
+        """§7: self-joins — configurations of objects within one image."""
+        from repro.data import SpatialDataset
+        from repro.data.generators import uniform_rects
+
+        rng = random.Random(94)
+        shared = SpatialDataset(uniform_rects(120, 0.4, rng), name="image")
+        instance = ProblemInstance(
+            query=QueryGraph.clique(3), datasets=[shared, shared, shared]
+        )
+        result = indexed_local_search(instance, Budget.iterations(300), seed=94)
+        evaluator = QueryEvaluator(instance)
+        assert evaluator.count_violations(list(result.best_assignment)) == (
+            result.best_violations
+        )
+        # dense self-join: an exact match should be easy
+        assert result.best_violations == 0

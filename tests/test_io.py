@@ -1,0 +1,80 @@
+"""Dataset persistence round-trip tests."""
+
+import random
+
+import pytest
+
+from repro import Rect, load_csv, load_npz, save_csv, save_npz, uniform_dataset
+from repro.data import SpatialDataset
+from repro.index.queries import search_items
+
+
+@pytest.fixture
+def dataset():
+    return uniform_dataset(200, 0.15, random.Random(0), name="roundtrip")
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_npz(dataset, path)
+        loaded = load_npz(path)
+        assert loaded.rects == dataset.rects
+        assert loaded.name == dataset.name
+        assert loaded.workspace == dataset.workspace
+
+    def test_loaded_index_works(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_npz(dataset, path)
+        loaded = load_npz(path)
+        window = Rect(0.25, 0.25, 0.75, 0.75)
+        assert set(search_items(loaded.tree, window)) == set(
+            search_items(dataset.tree, window)
+        )
+
+    def test_custom_workspace_preserved(self, tmp_path):
+        workspace = Rect(-5, -5, 5, 5)
+        original = SpatialDataset(
+            [Rect(-1, -1, 1, 1), Rect(0, 0, 2, 2)], workspace=workspace
+        )
+        path = tmp_path / "ws.npz"
+        save_npz(original, path)
+        assert load_npz(path).workspace == workspace
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path, name="roundtrip")
+        assert loaded.rects == dataset.rects
+        assert loaded.name == "roundtrip"
+
+    def test_name_defaults_to_stem(self, dataset, tmp_path):
+        path = tmp_path / "rivers.csv"
+        save_csv(dataset, path)
+        assert load_csv(path).name == "rivers"
+
+    def test_header_is_optional(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0.0,0.0,1.0,1.0\n0.5,0.5,2.0,2.0\n")
+        loaded = load_csv(path)
+        assert loaded.rects == [Rect(0, 0, 1, 1), Rect(0.5, 0.5, 2, 2)]
+
+    def test_rejects_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.0,0.0,1.0\n")
+        with pytest.raises(ValueError, match="expected 4 columns"):
+            load_csv(path)
+
+    def test_rejects_malformed_rect(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,0.0,0.0,1.0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("xmin,ymin,xmax,ymax\n")
+        with pytest.raises(ValueError, match="no rectangles"):
+            load_csv(path)

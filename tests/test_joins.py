@@ -1,0 +1,172 @@
+"""Exact-join baselines: WR, ST, PJM, pairwise R-tree join vs brute force."""
+
+import random
+
+import pytest
+
+from repro import QueryGraph, Rect, bulk_load, hard_instance, planted_instance
+from repro.geometry import INSIDE
+from repro.joins import (
+    brute_force_best,
+    brute_force_join,
+    count_exact_solutions,
+    pairwise_join_method,
+    rtree_join,
+    synchronous_traversal_join,
+    window_reduction_join,
+)
+from repro.query import ProblemInstance
+
+
+def make_instance(query_builder, n, cardinality, seed, target=4.0):
+    return hard_instance(
+        query_builder(n), cardinality, seed=seed, target_solutions=target
+    )
+
+
+class TestBruteForce:
+    def test_size_guard(self):
+        instance = make_instance(QueryGraph.chain, 8, 50, seed=0)
+        with pytest.raises(ValueError, match="brute force"):
+            list(brute_force_join(instance))
+
+    def test_solutions_are_valid(self):
+        instance = make_instance(QueryGraph.clique, 3, 30, seed=1)
+        from repro.core.evaluator import QueryEvaluator
+
+        evaluator = QueryEvaluator(instance)
+        for solution in brute_force_join(instance):
+            assert evaluator.count_violations(solution) == 0
+
+    def test_best_is_no_worse_than_any_enumerated(self):
+        instance = make_instance(QueryGraph.clique, 3, 20, seed=2, target=0.2)
+        _, best_violations = brute_force_best(instance)
+        if count_exact_solutions(instance) > 0:
+            assert best_violations == 0
+
+
+class TestPairwiseRtreeJoin:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_nested_loop(self, seed):
+        rng = random.Random(seed)
+        rects_a = [Rect.from_center(rng.random(), rng.random(), 0.1, 0.1) for _ in range(80)]
+        rects_b = [Rect.from_center(rng.random(), rng.random(), 0.1, 0.1) for _ in range(120)]
+        tree_a = bulk_load(list(zip(rects_a, range(len(rects_a)))), max_entries=5)
+        tree_b = bulk_load(list(zip(rects_b, range(len(rects_b)))), max_entries=7)
+        expected = {
+            (i, j)
+            for i, a in enumerate(rects_a)
+            for j, b in enumerate(rects_b)
+            if a.intersects(b)
+        }
+        assert set(rtree_join(tree_a, tree_b)) == expected
+
+    def test_different_heights(self):
+        rng = random.Random(9)
+        small = [Rect.from_center(rng.random(), rng.random(), 0.3, 0.3) for _ in range(4)]
+        large = [Rect.from_center(rng.random(), rng.random(), 0.05, 0.05) for _ in range(500)]
+        tree_small = bulk_load(list(zip(small, range(len(small)))), max_entries=4)
+        tree_large = bulk_load(list(zip(large, range(len(large)))), max_entries=4)
+        assert tree_small.height < tree_large.height
+        expected = {
+            (i, j)
+            for i, a in enumerate(small)
+            for j, b in enumerate(large)
+            if a.intersects(b)
+        }
+        assert set(rtree_join(tree_small, tree_large)) == expected
+
+    def test_empty_trees(self):
+        empty = bulk_load([])
+        other = bulk_load([(Rect(0, 0, 1, 1), 0)])
+        assert list(rtree_join(empty, other)) == []
+        assert list(rtree_join(other, empty)) == []
+
+
+class TestMultiwayJoinsAgree:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "query_builder", [QueryGraph.chain, QueryGraph.clique, QueryGraph.cycle]
+    )
+    def test_all_algorithms_match_brute_force(self, query_builder, seed):
+        instance = make_instance(query_builder, 3, 25, seed=seed)
+        expected = set(brute_force_join(instance))
+        assert set(window_reduction_join(instance)) == expected
+        assert set(synchronous_traversal_join(instance)) == expected
+        assert set(pairwise_join_method(instance)) == expected
+
+    def test_four_way_chain(self):
+        instance = make_instance(QueryGraph.chain, 4, 15, seed=21)
+        expected = set(brute_force_join(instance))
+        assert set(window_reduction_join(instance)) == expected
+        assert set(synchronous_traversal_join(instance)) == expected
+        assert set(pairwise_join_method(instance)) == expected
+
+    def test_planted_solution_is_found_by_all(self):
+        instance = planted_instance(QueryGraph.clique(3), 40, seed=22)
+        planted = instance.planted
+        assert planted in set(window_reduction_join(instance))
+        assert planted in set(synchronous_traversal_join(instance))
+        assert planted in set(pairwise_join_method(instance))
+
+
+class TestWindowReduction:
+    def test_limit(self):
+        instance = make_instance(QueryGraph.chain, 3, 30, seed=23, target=20.0)
+        all_solutions = list(window_reduction_join(instance))
+        if len(all_solutions) >= 3:
+            limited = list(window_reduction_join(instance, limit=3))
+            assert len(limited) == 3
+            assert set(limited) <= set(all_solutions)
+
+    def test_supports_arbitrary_predicates(self):
+        query = QueryGraph(3).add_edge(0, 1).add_edge(1, 2, INSIDE)
+        instance = hard_instance(query, 30, seed=24, target_solutions=10.0)
+        from repro.core.evaluator import QueryEvaluator
+
+        evaluator = QueryEvaluator(instance)
+        expected = set(brute_force_join(instance, evaluator))
+        assert set(window_reduction_join(instance, evaluator)) == expected
+
+
+class TestSynchronousTraversal:
+    def test_rejects_non_intersects(self):
+        query = QueryGraph(3).add_edge(0, 1).add_edge(1, 2, INSIDE)
+        instance = hard_instance(query, 20, seed=25)
+        with pytest.raises(ValueError, match="all-intersects"):
+            list(synchronous_traversal_join(instance))
+
+    def test_trees_of_unequal_heights(self):
+        # one large dataset forces a deeper tree than the tiny ones
+        query = QueryGraph.chain(3)
+        rng = random.Random(26)
+        from repro.data import SpatialDataset
+
+        tiny = SpatialDataset(
+            [Rect.from_center(rng.random(), rng.random(), 0.4, 0.4) for _ in range(5)],
+            max_entries=4,
+        )
+        big = SpatialDataset(
+            [
+                Rect.from_center(rng.random(), rng.random(), 0.1, 0.1)
+                for _ in range(400)
+            ],
+            max_entries=4,
+        )
+        instance = ProblemInstance(query=query, datasets=[tiny, big, tiny])
+        expected = set(brute_force_join(instance))
+        assert set(synchronous_traversal_join(instance)) == expected
+
+
+class TestPJM:
+    def test_requires_an_intersects_seed_edge(self):
+        query = QueryGraph(3).add_edge(0, 1, INSIDE).add_edge(1, 2, INSIDE)
+        instance = hard_instance(query, 20, seed=27)
+        with pytest.raises(ValueError, match="intersects edge"):
+            list(pairwise_join_method(instance))
+
+    def test_mixed_predicates_after_seed(self):
+        query = QueryGraph(3).add_edge(0, 1).add_edge(1, 2, INSIDE)
+        instance = hard_instance(query, 25, seed=28, target_solutions=10.0)
+        expected = set(brute_force_join(instance))
+        assert set(pairwise_join_method(instance)) == expected

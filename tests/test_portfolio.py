@@ -1,0 +1,91 @@
+"""Portfolio search tests."""
+
+import pytest
+
+from repro import Budget, QueryGraph, planted_instance, portfolio_search
+from repro.core.evaluator import QueryEvaluator
+
+
+class TestValidation:
+    def test_empty_portfolio(self, small_clique_instance):
+        with pytest.raises(ValueError, match="at least one"):
+            portfolio_search(
+                small_clique_instance, Budget.iterations(10), heuristics=()
+            )
+
+    def test_unknown_member(self, small_clique_instance):
+        with pytest.raises(ValueError, match="unknown heuristics"):
+            portfolio_search(
+                small_clique_instance,
+                Budget.iterations(10),
+                heuristics=("ils", "tabu"),
+            )
+
+    def test_share_mismatch(self, small_clique_instance):
+        with pytest.raises(ValueError, match="shares"):
+            portfolio_search(
+                small_clique_instance,
+                Budget.iterations(10),
+                heuristics=("ils", "sea"),
+                shares=(1.0,),
+            )
+
+    def test_non_positive_share(self, small_clique_instance):
+        with pytest.raises(ValueError, match="positive"):
+            portfolio_search(
+                small_clique_instance,
+                Budget.iterations(10),
+                heuristics=("ils", "sea"),
+                shares=(1.0, 0.0),
+            )
+
+
+class TestRuns:
+    def test_result_consistent(self, small_clique_instance):
+        result = portfolio_search(
+            small_clique_instance, Budget.iterations(60), seed=1
+        )
+        evaluator = QueryEvaluator(small_clique_instance)
+        assert evaluator.count_violations(list(result.best_assignment)) == (
+            result.best_violations
+        )
+        assert result.algorithm == "portfolio(ils+sea)"
+        assert len(result.stats["members"]) >= 1
+
+    def test_no_worse_than_each_member(self, small_clique_instance):
+        from repro import indexed_local_search, spatial_evolutionary_algorithm
+
+        combined = portfolio_search(
+            small_clique_instance, Budget.iterations(40), seed=2
+        )
+        ils_only = indexed_local_search(
+            small_clique_instance, Budget.iterations(20), seed=2
+        )
+        assert combined.best_violations <= ils_only.best_violations + 2
+
+    def test_stops_early_on_exact(self):
+        instance = planted_instance(QueryGraph.clique(4), 150, seed=3)
+        result = portfolio_search(
+            instance, Budget.iterations(100_000), seed=3,
+            heuristics=("ils", "gils", "sea"),
+        )
+        assert result.is_exact
+        # ILS finds the planted solution; GILS/SEA never run
+        assert len(result.stats["members"]) == 1
+
+    def test_merged_trace_is_improving(self, small_clique_instance):
+        result = portfolio_search(
+            small_clique_instance, Budget.iterations(60), seed=4
+        )
+        violations = [point.violations for point in result.trace.points]
+        assert violations == sorted(violations, reverse=True)
+
+    def test_custom_shares(self, small_clique_instance):
+        result = portfolio_search(
+            small_clique_instance,
+            Budget.iterations(30),
+            seed=5,
+            heuristics=("ils", "sea"),
+            shares=(3.0, 1.0),
+        )
+        assert result.best_violations >= 0

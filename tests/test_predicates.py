@@ -1,0 +1,122 @@
+"""Tests for spatial predicates: semantics, inverses, node filters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Rect
+from repro.geometry import (
+    CONTAINS,
+    INSIDE,
+    INTERSECTS,
+    NORTHEAST,
+    SOUTHWEST,
+    WithinDistance,
+    predicate_from_name,
+)
+
+from conftest import rects
+
+ALL_STATELESS = [INTERSECTS, INSIDE, CONTAINS, NORTHEAST, SOUTHWEST]
+ALL_PREDICATES = ALL_STATELESS + [WithinDistance(1.5)]
+
+
+class TestSemantics:
+    def test_intersects(self):
+        assert INTERSECTS.test(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+        assert not INTERSECTS.test(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3))
+
+    def test_inside(self):
+        assert INSIDE.test(Rect(1, 1, 2, 2), Rect(0, 0, 3, 3))
+        assert not INSIDE.test(Rect(0, 0, 3, 3), Rect(1, 1, 2, 2))
+
+    def test_contains(self):
+        assert CONTAINS.test(Rect(0, 0, 3, 3), Rect(1, 1, 2, 2))
+        assert not CONTAINS.test(Rect(1, 1, 2, 2), Rect(0, 0, 3, 3))
+
+    def test_northeast(self):
+        window = Rect(0, 0, 1, 1)
+        assert NORTHEAST.test(Rect(2, 2, 3, 3), window)
+        assert NORTHEAST.test(Rect(1, 1, 2, 2), window)  # touching boundary
+        assert not NORTHEAST.test(Rect(2, 0, 3, 1), window)  # east only
+        assert not NORTHEAST.test(Rect(0.5, 2, 3, 3), window)  # overlaps in x
+
+    def test_southwest(self):
+        window = Rect(2, 2, 3, 3)
+        assert SOUTHWEST.test(Rect(0, 0, 1, 1), window)
+        assert not SOUTHWEST.test(Rect(0, 2.5, 1, 3), window)
+
+    def test_within_distance(self):
+        predicate = WithinDistance(1.0)
+        assert predicate.test(Rect(0, 0, 1, 1), Rect(1.5, 0, 2, 1))
+        assert predicate.test(Rect(0, 0, 1, 1), Rect(2.0, 0, 3, 1))  # exactly 1.0
+        assert not predicate.test(Rect(0, 0, 1, 1), Rect(2.5, 0, 3, 1))
+
+    def test_within_distance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WithinDistance(-0.1)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("predicate", ALL_PREDICATES)
+    @given(rects(), rects())
+    def test_inverse_swaps_arguments(self, predicate, a, b):
+        assert predicate.test(a, b) == predicate.inverse().test(b, a)
+
+    def test_inverse_pairs(self):
+        assert INSIDE.inverse() is CONTAINS
+        assert CONTAINS.inverse() is INSIDE
+        assert NORTHEAST.inverse() is SOUTHWEST
+        assert SOUTHWEST.inverse() is NORTHEAST
+        assert INTERSECTS.inverse() is INTERSECTS
+
+    def test_inverse_is_involutive(self):
+        for predicate in ALL_PREDICATES:
+            assert predicate.inverse().inverse() == predicate
+
+
+class TestNodeFilter:
+    """node_may_satisfy must be admissible: never prune a qualifying child."""
+
+    @pytest.mark.parametrize("predicate", ALL_PREDICATES)
+    @given(rects(), rects(), rects())
+    def test_admissibility(self, predicate, child, other, window):
+        node_mbr = child.union(other)  # any MBR covering the child
+        if predicate.test(child, window):
+            assert predicate.node_may_satisfy(node_mbr, window)
+
+    def test_intersects_filter_is_exact_for_own_mbr(self):
+        window = Rect(0, 0, 1, 1)
+        assert INTERSECTS.node_may_satisfy(Rect(0.5, 0.5, 2, 2), window)
+        assert not INTERSECTS.node_may_satisfy(Rect(2, 2, 3, 3), window)
+
+    def test_contains_filter_requires_coverage(self):
+        window = Rect(1, 1, 2, 2)
+        assert CONTAINS.node_may_satisfy(Rect(0, 0, 3, 3), window)
+        assert not CONTAINS.node_may_satisfy(Rect(1.5, 0, 3, 3), window)
+
+
+class TestEqualityAndLookup:
+    def test_value_equality(self):
+        assert WithinDistance(1.0) == WithinDistance(1.0)
+        assert WithinDistance(1.0) != WithinDistance(2.0)
+        assert INTERSECTS == predicate_from_name("intersects")
+
+    def test_hashable(self):
+        assert len({INTERSECTS, INSIDE, CONTAINS, WithinDistance(1), WithinDistance(1)}) == 4
+
+    def test_lookup_by_name(self):
+        for predicate in ALL_STATELESS:
+            assert predicate_from_name(predicate.name) is predicate
+
+    def test_lookup_within_distance(self):
+        predicate = predicate_from_name("within_distance", distance=2.0)
+        assert predicate == WithinDistance(2.0)
+
+    def test_lookup_within_distance_requires_parameter(self):
+        with pytest.raises(ValueError):
+            predicate_from_name("within_distance")
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown predicate"):
+            predicate_from_name("touches")

@@ -1,0 +1,166 @@
+"""Unit and property tests for the Rect primitive."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro import Rect
+from repro.geometry import union_all
+
+from conftest import rects
+
+
+class TestConstruction:
+    def test_from_center(self):
+        rect = Rect.from_center(0.5, 0.5, 0.2, 0.4)
+        assert rect == Rect(0.4, 0.3, 0.6, 0.7)
+
+    def test_from_center_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0, 0, -1.0, 1.0)
+
+    def test_from_points(self):
+        rect = Rect.from_points([(1, 5), (-2, 0), (3, 2)])
+        assert rect == Rect(-2, 0, 3, 5)
+
+    def test_validate_accepts_degenerate_point(self):
+        assert Rect(1, 1, 1, 1).validate() == Rect(1, 1, 1, 1)
+
+    def test_validate_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1).validate()
+
+    def test_validate_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, math.nan, 1).validate()
+
+
+class TestMeasures:
+    def test_area_and_margin(self):
+        rect = Rect(0, 0, 2, 3)
+        assert rect.area() == 6
+        assert rect.margin() == 5
+        assert rect.width == 2
+        assert rect.height == 3
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center() == (1.0, 2.0)
+
+
+class TestRelations:
+    def test_intersects_overlapping(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        # closed-rectangle semantics: touching counts as intersecting
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_intersects_touching_corner(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(0, 2, 1, 3))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(1, 1, 2, 2))
+        assert outer.contains(outer)
+        assert not Rect(1, 1, 2, 2).contains(outer)
+
+    def test_contains_point(self):
+        rect = Rect(0, 0, 1, 1)
+        assert rect.contains_point(0.5, 0.5)
+        assert rect.contains_point(1.0, 1.0)  # boundary
+        assert not rect.contains_point(1.1, 0.5)
+
+    def test_intersection(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3)) == Rect(1, 1, 2, 2)
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_intersection_area_matches_intersection(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)
+        assert a.intersection_area(b) == a.intersection(b).area()
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_enlargement(self):
+        base = Rect(0, 0, 1, 1)
+        assert base.enlargement(Rect(0.2, 0.2, 0.8, 0.8)) == 0.0
+        assert base.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+
+    def test_min_distance(self):
+        assert Rect(0, 0, 1, 1).min_distance(Rect(4, 0, 5, 1)) == pytest.approx(3.0)
+        assert Rect(0, 0, 1, 1).min_distance(Rect(4, 5, 5, 6)) == pytest.approx(5.0)
+        assert Rect(0, 0, 2, 2).min_distance(Rect(1, 1, 3, 3)) == 0.0
+
+    def test_buffered(self):
+        assert Rect(0, 0, 1, 1).buffered(0.5) == Rect(-0.5, -0.5, 1.5, 1.5)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).buffered(-1)
+
+    def test_clipped(self):
+        workspace = Rect(0, 0, 1, 1)
+        assert Rect(-1, -1, 0.5, 0.5).clipped(workspace) == Rect(0, 0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            Rect(5, 5, 6, 6).clipped(workspace)
+
+
+class TestUnionAll:
+    def test_multiple(self):
+        rects_in = [Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5), Rect(-1, 0, 0, 2)]
+        assert union_all(rects_in) == Rect(-1, -1, 3, 2)
+
+    def test_single(self):
+        assert union_all([Rect(1, 2, 3, 4)]) == Rect(1, 2, 3, 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersects_is_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains(a)
+        assert union.contains(b)
+
+    @given(rects(), rects())
+    def test_union_is_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects(), rects())
+    def test_intersection_consistent_with_intersects(self, a, b):
+        overlap = a.intersection(b)
+        assert (overlap is not None) == a.intersects(b)
+        if overlap is not None:
+            assert a.contains(overlap)
+            assert b.contains(overlap)
+
+    @given(rects(), rects())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    @given(rects(), rects())
+    def test_min_distance_zero_iff_intersecting(self, a, b):
+        distance = a.min_distance(b)
+        if a.intersects(b):
+            assert distance == 0.0
+        else:
+            assert distance > 0.0
+
+    @given(rects())
+    def test_contains_is_reflexive(self, a):
+        assert a.contains(a)
+
+    @given(rects(), rects())
+    def test_intersection_area_symmetric(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(b.intersection_area(a))

@@ -1,0 +1,59 @@
+"""RunResult / ConvergenceTrace tests."""
+
+import pytest
+
+from repro import ConvergenceTrace, RunResult
+
+
+def make_trace(points):
+    trace = ConvergenceTrace()
+    for elapsed, iterations, violations, similarity in points:
+        trace.record(elapsed, iterations, violations, similarity)
+    return trace
+
+
+class TestTrace:
+    def test_empty(self):
+        trace = ConvergenceTrace()
+        assert len(trace) == 0
+        assert trace.similarity_at(100.0) == 0.0
+        assert trace.sample([0.0, 1.0]) == [0.0, 0.0]
+
+    def test_staircase_semantics(self):
+        trace = make_trace([(1.0, 10, 5, 0.5), (3.0, 30, 2, 0.8), (7.0, 70, 0, 1.0)])
+        assert trace.similarity_at(0.5) == 0.0
+        assert trace.similarity_at(1.0) == 0.5
+        assert trace.similarity_at(2.9) == 0.5
+        assert trace.similarity_at(3.0) == 0.8
+        assert trace.similarity_at(100.0) == 1.0
+
+    def test_sample_grid(self):
+        trace = make_trace([(1.0, 1, 5, 0.5), (3.0, 3, 2, 0.8)])
+        assert trace.sample([0.5, 1.5, 2.5, 3.5]) == [0.0, 0.5, 0.5, 0.8]
+
+    def test_points_exposed(self):
+        trace = make_trace([(1.0, 1, 5, 0.5)])
+        [point] = trace.points
+        assert (point.elapsed, point.iterations) == (1.0, 1)
+        assert (point.violations, point.similarity) == (5, 0.5)
+
+
+class TestRunResult:
+    def make(self, violations=0):
+        return RunResult(
+            algorithm="ILS",
+            best_assignment=(1, 2, 3),
+            best_violations=violations,
+            best_similarity=1.0 - violations / 10,
+            elapsed=1.5,
+            iterations=42,
+        )
+
+    def test_is_exact(self):
+        assert self.make(0).is_exact
+        assert not self.make(1).is_exact
+
+    def test_summary_mentions_kind(self):
+        assert "exact" in self.make(0).summary()
+        assert "approximate" in self.make(2).summary()
+        assert "ILS" in self.make(0).summary()

@@ -1,0 +1,187 @@
+"""R*-tree structural and query-correctness tests (dynamic inserts)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, RStarTree
+from repro.index.queries import count, search, search_items
+
+from conftest import rect_lists, rects
+
+
+def brute_window(entries, window):
+    return {item for rect, item in entries if rect.intersects(window)}
+
+
+def make_tree(entries, max_entries=8):
+    tree = RStarTree(max_entries=max_entries)
+    for rect, item in entries:
+        tree.insert(rect, item)
+    return tree
+
+
+class TestConstruction:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RStarTree(min_fill=0.7)
+        with pytest.raises(ValueError):
+            RStarTree(reinsert_fraction=1.0)
+
+    def test_empty_tree(self):
+        tree = RStarTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.bounds() is None
+        assert list(tree.items()) == []
+        tree.validate()
+
+    def test_insert_rejects_malformed_rect(self):
+        with pytest.raises(ValueError):
+            RStarTree().insert(Rect(1, 0, 0, 1), 0)
+
+
+class TestInsert:
+    def test_single_insert(self):
+        tree = RStarTree()
+        tree.insert(Rect(0, 0, 1, 1), "a")
+        assert len(tree) == 1
+        assert tree.bounds() == Rect(0, 0, 1, 1)
+        tree.validate()
+
+    def test_grows_in_height_and_splits(self):
+        rng = random.Random(5)
+        tree = RStarTree(max_entries=4)
+        for index in range(100):
+            x, y = rng.random(), rng.random()
+            tree.insert(Rect(x, y, x + 0.01, y + 0.01), index)
+        assert tree.height >= 3
+        assert tree.stats.splits > 0
+        tree.validate()
+
+    def test_forced_reinsert_happens(self):
+        rng = random.Random(6)
+        tree = RStarTree(max_entries=8)
+        for index in range(200):
+            x, y = rng.random(), rng.random()
+            tree.insert(Rect(x, y, x + 0.02, y + 0.02), index)
+        assert tree.stats.reinserts > 0
+        tree.validate()
+
+    def test_reinsert_disabled(self):
+        tree = RStarTree(max_entries=4, reinsert_fraction=0.0)
+        for index in range(50):
+            tree.insert(Rect(index, 0, index + 1, 1), index)
+        assert tree.stats.reinserts == 0
+        assert len(tree) == 50
+        tree.validate()
+
+    def test_all_items_preserved(self):
+        rng = random.Random(7)
+        entries = [
+            (Rect(rng.random(), rng.random(), rng.random() + 1, rng.random() + 1), i)
+            for i in range(300)
+        ]
+        tree = make_tree(entries, max_entries=6)
+        assert sorted(item for _r, item in tree.items()) == list(range(300))
+        tree.validate()
+
+    def test_duplicate_rects_allowed(self):
+        tree = RStarTree(max_entries=4)
+        for index in range(20):
+            tree.insert(Rect(0, 0, 1, 1), index)
+        assert len(tree) == 20
+        assert sorted(search_items(tree, Rect(0.5, 0.5, 0.6, 0.6))) == list(range(20))
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = make_tree([(Rect(i, 0, i + 1, 1), i) for i in range(40)], max_entries=4)
+        assert tree.delete(Rect(5, 0, 6, 1), 5)
+        assert len(tree) == 39
+        assert 5 not in set(search_items(tree, Rect(0, 0, 50, 1)))
+        tree.validate()
+
+    def test_delete_missing_returns_false(self):
+        tree = make_tree([(Rect(0, 0, 1, 1), 0)])
+        assert not tree.delete(Rect(0, 0, 1, 1), "wrong-item")
+        assert not tree.delete(Rect(9, 9, 10, 10), 0)
+        assert len(tree) == 1
+
+    def test_delete_everything(self):
+        entries = [(Rect(i, 0, i + 1, 1), i) for i in range(60)]
+        tree = make_tree(entries, max_entries=4)
+        rng = random.Random(1)
+        rng.shuffle(entries)
+        for rect, item in entries:
+            assert tree.delete(rect, item)
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        tree.validate()
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(2)
+        tree = RStarTree(max_entries=5)
+        live = {}
+        for step in range(500):
+            if live and rng.random() < 0.4:
+                item = rng.choice(list(live))
+                assert tree.delete(live.pop(item), item)
+            else:
+                rect = Rect.from_center(rng.random(), rng.random(), 0.05, 0.05)
+                tree.insert(rect, step)
+                live[step] = rect
+            if step % 100 == 0:
+                tree.validate()
+        tree.validate()
+        assert sorted(item for _r, item in tree.items()) == sorted(live)
+
+
+class TestQueriesAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(rect_lists(min_length=1, max_length=60), rects())
+    def test_window_query_matches_linear_scan(self, rect_list, window):
+        entries = list(zip(rect_list, range(len(rect_list))))
+        tree = make_tree(entries, max_entries=4)
+        expected = brute_window(entries, window)
+        assert set(search_items(tree, window)) == expected
+        assert count(tree, window) == len(expected)
+
+    def test_search_yields_rects_too(self):
+        entries = [(Rect(i, 0, i + 1, 1), i) for i in range(10)]
+        tree = make_tree(entries)
+        results = dict((item, rect) for rect, item in search(tree, Rect(2.5, 0, 4.5, 1)))
+        assert results == {2: Rect(2, 0, 3, 1), 3: Rect(3, 0, 4, 1), 4: Rect(4, 0, 5, 1)}
+
+    def test_stats_counters_increase(self):
+        entries = [(Rect(i, 0, i + 1, 1), i) for i in range(100)]
+        tree = make_tree(entries, max_entries=4)
+        tree.stats.reset()
+        list(search(tree, Rect(0, 0, 100, 1)))
+        assert tree.stats.window_queries == 1
+        assert tree.stats.node_reads > 0
+        assert tree.stats.leaf_reads > 0
+        snapshot = tree.stats.snapshot()
+        assert snapshot["window_queries"] == 1
+
+
+class TestValidateCatchesCorruption:
+    def test_stale_mbr_detected(self):
+        tree = make_tree([(Rect(i, 0, i + 1, 1), i) for i in range(50)], max_entries=4)
+        # corrupt a cached MBR
+        node = tree.root
+        while not node.is_leaf:
+            node = node.children[0]
+        node.mbr = Rect(-99, -99, -98, -98)
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_size_mismatch_detected(self):
+        tree = make_tree([(Rect(0, 0, 1, 1), 0)])
+        tree._size = 7
+        with pytest.raises(AssertionError):
+            tree.validate()

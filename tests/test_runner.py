@@ -1,0 +1,123 @@
+"""Experiment-driver smoke tests with tiny budgets (seconds total)."""
+
+import pytest
+
+from repro.bench import (
+    Fig10aConfig,
+    Fig10bConfig,
+    Fig10cConfig,
+    Fig11Config,
+    default_heuristics,
+    run_fig10a,
+    run_fig10b,
+    run_fig10c,
+    run_fig11,
+)
+
+
+class TestFig10a:
+    def test_grid_shape_and_ranges(self):
+        config = Fig10aConfig(
+            query_types=("chain", "clique"),
+            variable_counts=(3, 4),
+            cardinality=100,
+            time_per_variable=0.05,
+            repetitions=2,
+            seed=1,
+        )
+        rows = run_fig10a(config)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["query"] in ("chain", "clique")
+            assert row["n"] in (3, 4)
+            assert row["density"] > 0
+            for algorithm in ("ILS", "GILS", "SEA"):
+                assert 0.0 <= row[algorithm] <= 1.0
+
+    def test_time_limit_scales_with_n(self):
+        config = Fig10aConfig(
+            query_types=("chain",),
+            variable_counts=(3, 5),
+            cardinality=60,
+            time_per_variable=0.02,
+            repetitions=1,
+        )
+        rows = run_fig10a(config)
+        assert rows[0]["time_limit"] == pytest.approx(0.06)
+        assert rows[1]["time_limit"] == pytest.approx(0.10)
+
+
+class TestFig10b:
+    def test_staircases_are_monotone(self):
+        config = Fig10bConfig(
+            query_types=("chain",),
+            num_variables=4,
+            cardinality=100,
+            time_limits={"chain": 0.3},
+            grid_points=5,
+            repetitions=2,
+            seed=2,
+        )
+        output = run_fig10b(config)
+        data = output["chain"]
+        assert len(data["grid"]) == 5
+        for name, series in data["series"].items():
+            assert len(series) == 5
+            assert series == sorted(series), f"{name} staircase not monotone"
+            assert all(0.0 <= value <= 1.0 for value in series)
+
+
+class TestFig10c:
+    def test_rows_cover_solution_grid(self):
+        config = Fig10cConfig(
+            num_variables=4,
+            cardinality=100,
+            expected_solutions=(1.0, 100.0),
+            time_limit=0.1,
+            repetitions=1,
+            seed=3,
+        )
+        rows = run_fig10c(config)
+        assert [row["Sol"] for row in rows] == [1.0, 100.0]
+        # density must grow with the solution target
+        assert rows[1]["density"] > rows[0]["density"]
+
+    def test_more_solutions_means_easier(self):
+        config = Fig10cConfig(
+            num_variables=4,
+            cardinality=120,
+            expected_solutions=(1.0, 1e4),
+            time_limit=0.2,
+            repetitions=2,
+            seed=4,
+        )
+        rows = run_fig10c(config)
+        # with 10⁴ expected solutions every heuristic should do at least as
+        # well as in the 1-solution hard region
+        assert rows[1]["ILS"] >= rows[0]["ILS"] - 0.15
+
+
+class TestFig11:
+    def test_rows_and_exactness(self):
+        config = Fig11Config(
+            variable_counts=(3,),
+            cardinality=60,
+            ils_time=0.05,
+            sea_time_per_variable=0.05,
+            ibb_time_cap=20.0,
+            repetitions=2,
+            seed=5,
+        )
+        rows = run_fig11(config)
+        [row] = rows
+        assert row["n"] == 3
+        for label in ("IBB", "ILS+IBB", "SEA+IBB"):
+            assert row[label] >= 0.0
+            exact, total = row[f"{label} exact"].split("/")
+            assert int(total) == 2
+            assert int(exact) == 2  # planted instances must be solved exactly
+
+
+class TestDefaults:
+    def test_default_heuristics_names(self):
+        assert set(default_heuristics()) == {"ILS", "GILS", "SEA"}

@@ -1,0 +1,124 @@
+"""Selectivity / expected-output-size formula tests, including the
+statistical check that the closed forms predict reality."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryGraph, expected_solutions, hard_instance
+from repro.joins import count_exact_solutions
+from repro.query import (
+    density_for_solutions,
+    expected_solutions_acyclic,
+    expected_solutions_clique,
+    pairwise_selectivity,
+    problem_size_bits,
+)
+
+
+class TestClosedForms:
+    def test_pairwise_selectivity(self):
+        assert pairwise_selectivity(0.1, 0.2) == pytest.approx(0.09)
+        with pytest.raises(ValueError):
+            pairwise_selectivity(-0.1, 0.2)
+
+    def test_acyclic_matches_paper_formula(self):
+        # Sol = N · 2^(2(n-1)) · d^(n-1)
+        n, cardinality, density = 5, 1_000, 0.05
+        expected = cardinality * 2 ** (2 * (n - 1)) * density ** (n - 1)
+        assert expected_solutions_acyclic(n, cardinality, density) == pytest.approx(
+            expected
+        )
+
+    def test_clique_matches_paper_formula(self):
+        # Sol = N · n² · d^(n-1)
+        n, cardinality, density = 5, 1_000, 0.05
+        expected = cardinality * n**2 * density ** (n - 1)
+        assert expected_solutions_clique(n, cardinality, density) == pytest.approx(
+            expected
+        )
+
+    def test_dispatch(self):
+        assert expected_solutions(
+            QueryGraph.chain(4), 100, 0.1
+        ) == expected_solutions_acyclic(4, 100, 0.1)
+        assert expected_solutions(
+            QueryGraph.clique(4), 100, 0.1
+        ) == expected_solutions_clique(4, 100, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_solutions_acyclic(1, 100, 0.1)
+        with pytest.raises(ValueError):
+            expected_solutions_clique(3, 0, 0.1)
+        with pytest.raises(ValueError):
+            expected_solutions_clique(3, 10, -1.0)
+
+
+class TestDensityInversion:
+    def test_paper_hard_region_densities(self):
+        # acyclic: d = 1 / (4 · (n-1)-th root of N)
+        n, cardinality = 5, 10_000
+        density = density_for_solutions(QueryGraph.chain(n), cardinality, 1.0)
+        assert density == pytest.approx(1.0 / (4.0 * cardinality ** (1.0 / (n - 1))))
+        # clique: d = 1 / (n-1)-th root of (N·n²)
+        density = density_for_solutions(QueryGraph.clique(n), cardinality, 1.0)
+        assert density == pytest.approx(
+            (1.0 / (cardinality * n**2)) ** (1.0 / (n - 1))
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=100, max_value=10**6),
+        st.floats(min_value=0.01, max_value=10**4),
+        st.booleans(),
+    )
+    def test_inversion_roundtrip(self, n, cardinality, target, clique):
+        query = QueryGraph.clique(n) if clique else QueryGraph.chain(n)
+        density = density_for_solutions(query, cardinality, target)
+        assert expected_solutions(query, cardinality, density) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_for_solutions(QueryGraph.chain(3), 100, 0.0)
+        with pytest.raises(ValueError):
+            density_for_solutions(QueryGraph.chain(3), 0, 1.0)
+
+
+class TestProblemSize:
+    def test_bits(self):
+        assert problem_size_bits([1024, 1024]) == pytest.approx(20.0)
+        assert problem_size_bits([1]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            problem_size_bits([])
+        with pytest.raises(ValueError):
+            problem_size_bits([10, 0])
+
+
+class TestFormulaAgainstReality:
+    """The paper's whole experimental design rests on these estimates:
+    generate many small instances and compare the measured solution count
+    to the prediction."""
+
+    @pytest.mark.parametrize("query_builder", [QueryGraph.chain, QueryGraph.clique])
+    def test_mean_solution_count_near_prediction(self, query_builder):
+        cardinality, target, trials = 40, 4.0, 30
+        query = query_builder(3)
+        counts = [
+            count_exact_solutions(
+                hard_instance(query, cardinality, seed=seed, target_solutions=target)
+            )
+            for seed in range(trials)
+        ]
+        mean = sum(counts) / trials
+        # generous tolerance: the estimate ignores boundary effects and the
+        # clique correction is itself approximate
+        assert target / 3 <= mean <= target * 3

@@ -1,0 +1,111 @@
+"""SolutionState: incremental bookkeeping vs full recount, search policies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryGraph, hard_instance
+from repro.core.evaluator import QueryEvaluator
+from repro.geometry import INSIDE
+
+
+@pytest.fixture(scope="module")
+def clique_evaluator():
+    return QueryEvaluator(hard_instance(QueryGraph.clique(4), 60, seed=42))
+
+
+@pytest.fixture(scope="module")
+def chain_evaluator():
+    return QueryEvaluator(hard_instance(QueryGraph.chain(5), 60, seed=43))
+
+
+class TestConstruction:
+    def test_length_validated(self, clique_evaluator):
+        with pytest.raises(ValueError):
+            clique_evaluator.make_state([0, 0])
+
+    def test_initial_counts_match_full_recount(self, clique_evaluator):
+        state = clique_evaluator.make_state([0, 1, 2, 3])
+        state.check_consistency()
+
+    def test_similarity_and_violations(self, chain_evaluator):
+        state = chain_evaluator.random_state(random.Random(0))
+        assert state.violations == chain_evaluator.count_violations(state.values)
+        assert state.similarity == pytest.approx(
+            1.0 - state.violations / chain_evaluator.num_constraints
+        )
+
+
+class TestIncrementalUpdates:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 59)), max_size=40))
+    def test_random_walk_stays_consistent(self, clique_evaluator, moves):
+        rng = random.Random(1)
+        state = clique_evaluator.random_state(rng)
+        for variable, object_id in moves:
+            state.set_value(variable, object_id)
+        state.check_consistency()
+
+    def test_setting_same_value_is_noop(self, clique_evaluator):
+        state = clique_evaluator.make_state([5, 6, 7, 8])
+        before = (list(state.sat), state.satisfied_edges)
+        state.set_value(2, 7)
+        assert (state.sat, state.satisfied_edges) == (before[0], before[1])
+
+    def test_copy_is_independent(self, clique_evaluator):
+        state = clique_evaluator.make_state([1, 2, 3, 4])
+        clone = state.copy()
+        state.set_value(0, 9)
+        assert clone.values == [1, 2, 3, 4]
+        clone.check_consistency()
+        state.check_consistency()
+
+    def test_as_tuple(self, clique_evaluator):
+        state = clique_evaluator.make_state([1, 2, 3, 4])
+        assert state.as_tuple() == (1, 2, 3, 4)
+
+
+class TestWorstVariableOrder:
+    def test_most_violated_first(self, chain_evaluator):
+        rng = random.Random(2)
+        for _ in range(20):
+            state = chain_evaluator.random_state(rng)
+            order = state.worst_variable_order()
+            violated = [state.violated_count(v) for v in order]
+            assert violated == sorted(violated, reverse=True)
+
+    def test_tie_broken_by_fewest_satisfied(self, chain_evaluator):
+        rng = random.Random(3)
+        for _ in range(20):
+            state = chain_evaluator.random_state(rng)
+            order = state.worst_variable_order()
+            keys = [(-state.violated_count(v), state.sat[v]) for v in order]
+            assert keys == sorted(keys)
+
+
+class TestConstraintWindows:
+    def test_windows_are_partner_rects(self, chain_evaluator):
+        state = chain_evaluator.make_state([3, 4, 5, 6, 7])
+        windows = state.constraint_windows(2)
+        # chain: variable 2 joins 1 and 3
+        rects = chain_evaluator.rects
+        assert [w for _p, w in windows] == [rects[1][4], rects[3][6]]
+
+    def test_asymmetric_predicates_oriented_candidate_to_window(self):
+        query = QueryGraph(2).add_edge(0, 1, INSIDE)
+        instance = hard_instance(query, 30, seed=1)
+        evaluator = QueryEvaluator(instance)
+        state = evaluator.make_state([0, 1])
+        [(predicate_0, _w0)] = state.constraint_windows(0)
+        [(predicate_1, _w1)] = state.constraint_windows(1)
+        assert predicate_0.name == "inside"  # candidate for v0 must be inside w
+        assert predicate_1.name == "contains"
+
+
+class TestExactness:
+    def test_is_exact_flag(self, clique_evaluator):
+        rng = random.Random(4)
+        state = clique_evaluator.random_state(rng)
+        assert state.is_exact == (state.violations == 0)

@@ -1,0 +1,97 @@
+"""Two-step (heuristic + IBB) processing tests."""
+
+import pytest
+
+from repro import Budget, QueryGraph, hard_instance, planted_instance, two_step
+from repro.core.evaluator import QueryEvaluator
+from repro.joins import brute_force_best
+
+
+class TestDispatch:
+    def test_unknown_heuristic(self, small_clique_instance):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            two_step(small_clique_instance, "tabu", Budget.iterations(10))
+
+    @pytest.mark.parametrize("heuristic", ["ils", "gils", "sea"])
+    def test_all_heuristics_supported(self, heuristic):
+        instance = hard_instance(QueryGraph.clique(3), 30, seed=1)
+        result = two_step(
+            instance,
+            heuristic,
+            heuristic_budget=Budget.iterations(50),
+            systematic_budget=Budget.iterations(100_000),
+            seed=1,
+        )
+        assert result.best_violations >= 0
+        assert result.heuristic.algorithm.lower().startswith(heuristic[:3])
+
+
+class TestSkipBehaviour:
+    def test_exact_heuristic_solution_skips_ibb(self):
+        instance = planted_instance(QueryGraph.clique(3), 80, seed=2)
+        result = two_step(
+            instance,
+            "ils",
+            heuristic_budget=Budget.iterations(20_000),
+            seed=2,
+        )
+        assert result.is_exact
+        assert result.skipped_systematic
+        assert result.total_elapsed == result.heuristic.elapsed
+        assert "heuristic only" in result.summary()
+
+    def test_inexact_heuristic_runs_ibb(self):
+        instance = hard_instance(QueryGraph.clique(4), 40, seed=3)
+        result = two_step(
+            instance,
+            "ils",
+            heuristic_budget=Budget.iterations(5),  # far too little to finish
+            systematic_budget=Budget.iterations(10_000_000),
+            seed=3,
+        )
+        if not result.heuristic.is_exact:
+            assert not result.skipped_systematic
+            assert result.total_elapsed >= result.heuristic.elapsed
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_step_is_optimal(self, seed):
+        instance = hard_instance(QueryGraph.clique(3), 25, seed=40 + seed)
+        _, oracle_violations = brute_force_best(instance)
+        result = two_step(
+            instance,
+            "ils",
+            heuristic_budget=Budget.iterations(30),
+            systematic_budget=Budget.iterations(10_000_000),
+            seed=seed,
+        )
+        assert result.best_violations == oracle_violations
+
+    def test_result_is_consistent(self):
+        instance = hard_instance(QueryGraph.clique(3), 30, seed=50)
+        result = two_step(
+            instance,
+            "sea",
+            heuristic_budget=Budget.iterations(5),
+            systematic_budget=Budget.iterations(10_000_000),
+            seed=5,
+        )
+        evaluator = QueryEvaluator(instance)
+        assert evaluator.count_violations(list(result.best_assignment)) == (
+            result.best_violations
+        )
+        assert result.best_similarity == pytest.approx(
+            evaluator.similarity(result.best_violations)
+        )
+
+    def test_ibb_never_worse_than_heuristic(self):
+        instance = hard_instance(QueryGraph.clique(4), 40, seed=60)
+        result = two_step(
+            instance,
+            "ils",
+            heuristic_budget=Budget.iterations(10),
+            systematic_budget=Budget.iterations(100_000),
+            seed=6,
+        )
+        assert result.best_violations <= result.heuristic.best_violations
