@@ -67,6 +67,7 @@ from .core import (
     spatial_evolutionary_algorithm,
     two_step,
 )
+from .core.parallel import parallel_restarts
 from .core.portfolio import portfolio_search
 from .core.annealing import SAConfig, indexed_simulated_annealing
 from .joins import (
@@ -135,6 +136,7 @@ __all__ = [
     "TwoStepResult",
     "two_step",
     "portfolio_search",
+    "parallel_restarts",
     "SAConfig",
     "indexed_simulated_annealing",
     # joins

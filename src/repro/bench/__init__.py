@@ -1,6 +1,6 @@
 """Experiment harness: drivers for every paper figure + table rendering."""
 
-from .reporting import format_series, format_table, write_csv
+from .reporting import format_series, format_table, write_csv, write_json
 from .runner import (
     Fig10aConfig,
     Fig10bConfig,
@@ -18,6 +18,7 @@ __all__ = [
     "format_table",
     "format_series",
     "write_csv",
+    "write_json",
     "Fig10aConfig",
     "run_fig10a",
     "Fig10bConfig",

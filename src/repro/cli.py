@@ -47,6 +47,8 @@ from .core import (
     guided_indexed_local_search,
     indexed_branch_and_bound,
     indexed_local_search,
+    parallel_restarts,
+    portfolio_search,
     spatial_evolutionary_algorithm,
     two_step,
 )
@@ -101,10 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--variables", type=int, default=8)
     solve.add_argument("--cardinality", type=int, default=2_000)
     solve.add_argument("--algorithm", default="sea",
-                       choices=["ils", "gils", "sea", "ibb", "two-step"])
+                       choices=["ils", "gils", "sea", "ibb", "two-step",
+                                "portfolio"])
     solve.add_argument("--seconds", type=float, default=5.0)
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--target-solutions", type=float, default=1.0)
+    solve.add_argument("--workers", type=int, default=1,
+                       help="processes for portfolio members / restarts "
+                            "(1 = run in-process)")
+    solve.add_argument("--restarts", type=int, default=1,
+                       help="independent seeds of one heuristic, best kept "
+                            "(> 1 runs ils/gils/sea via parallel_restarts)")
 
     generate = commands.add_parser(
         "generate", help="persist a hard instance to a directory"
@@ -252,7 +261,16 @@ def _cmd_solve(args: argparse.Namespace) -> None:
           f"density={instance.density:.4g} "
           f"expected solutions={instance.expected_solutions:.3g}")
     budget = Budget.seconds(args.seconds)
-    if args.algorithm == "ils":
+    if args.restarts > 1 and args.algorithm in ("ils", "gils", "sea"):
+        result = parallel_restarts(
+            instance, budget, seed=args.seed, heuristic=args.algorithm,
+            restarts=args.restarts, workers=args.workers,
+        )
+    elif args.algorithm == "portfolio":
+        result = portfolio_search(
+            instance, budget, seed=args.seed, workers=args.workers
+        )
+    elif args.algorithm == "ils":
         result = indexed_local_search(instance, budget, args.seed, ILSConfig())
     elif args.algorithm == "gils":
         result = guided_indexed_local_search(instance, budget, args.seed, GILSConfig())

@@ -11,6 +11,7 @@ from .evaluator import QueryEvaluator
 from .gils import DEFAULT_LAMBDA_FACTOR, GILSConfig, guided_indexed_local_search
 from .ibb import IBBConfig, connectivity_order, indexed_branch_and_bound
 from .ils import ILSConfig, indexed_local_search
+from .parallel import RunSpec, default_workers, derive_seed, parallel_restarts, run_specs
 from .penalties import PenaltyTable
 from .portfolio import DEFAULT_PORTFOLIO, portfolio_search
 from .result import ConvergenceTrace, RunResult, TracePoint
@@ -44,6 +45,11 @@ __all__ = [
     "HEURISTICS",
     "portfolio_search",
     "DEFAULT_PORTFOLIO",
+    "parallel_restarts",
+    "run_specs",
+    "RunSpec",
+    "derive_seed",
+    "default_workers",
     "SAConfig",
     "indexed_simulated_annealing",
     "RunResult",

@@ -17,13 +17,22 @@ This single routine powers all three heuristics:
   ``satisfied − λ·penalty`` (the intermediate-node bound stays admissible
   because penalties are non-negative),
 * **SEA** uses it as its mutation operator.
+
+Since it is *the* hot loop of the whole library, node entries are scored
+with the columnar NumPy kernels of :mod:`repro.geometry.kernels`: each node
+caches a packed ``(len, 4)`` bounds array and all of its entries are scored
+in one vectorized call.  ``use_kernels=False`` selects the original scalar
+loops — the oracle the property suite checks the kernels against.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
-from ..geometry import Intersects, Rect, SpatialPredicate
+import numpy as np
+
+from ..geometry import Intersects, Rect, RectColumns, SpatialPredicate
+from ..geometry.kernels import count_satisfied, make_count_scorer
 from ..index import RStarTree
 from ..index.node import Node
 
@@ -55,6 +64,7 @@ def find_best_value(
     constraints: list[tuple[SpatialPredicate, Rect]],
     floor_score: float,
     penalty: Callable[[Any], float] | None = None,
+    use_kernels: bool = True,
 ) -> BestValue | None:
     """Best object of ``tree`` under the multi-window criterion.
 
@@ -71,6 +81,10 @@ def find_best_value(
     penalty:
         Optional GILS hook mapping an object id to its penalty contribution
         ``λ·penalty(v←r)``; leaf scores become ``satisfied − penalty(item)``.
+    use_kernels:
+        Score whole nodes with the vectorized NumPy kernels (default).
+        ``False`` runs the original scalar loops; both paths return
+        identical results (enforced by the property suite).
 
     Returns ``None`` when no object beats ``floor_score`` (in particular
     when ``constraints`` is empty, since no object can then improve
@@ -81,9 +95,97 @@ def find_best_value(
     tree.stats.best_value_searches += 1
     if tree.root.mbr is None:
         return None
-    if all(type(predicate) is Intersects for predicate, _w in constraints):
+    all_intersects = all(type(predicate) is Intersects for predicate, _w in constraints)
+    if use_kernels:
+        return _find_best_value_kernels(
+            tree, constraints, floor_score, penalty, all_intersects
+        )
+    if all_intersects:
         # the paper's default condition: use the inlined hot path
-        return _find_best_value_intersects(tree, constraints, floor_score, penalty)
+        return _find_best_value_intersects_scalar(tree, constraints, floor_score, penalty)
+    return _find_best_value_scalar(tree, constraints, floor_score, penalty)
+
+
+def _find_best_value_kernels(
+    tree: RStarTree,
+    constraints: list[tuple[SpatialPredicate, Rect]],
+    floor_score: float,
+    penalty: Callable[[Any], float] | None,
+    all_intersects: bool,
+) -> BestValue | None:
+    """Vectorized branch-and-bound: one kernel call scores a whole node.
+
+    For the default all-``intersects`` case the leaf test and the
+    intermediate-node admissible filter coincide, so a single broadcast
+    against the packed window array serves both roles; other predicate mixes
+    go through the generic per-constraint kernels.
+    """
+    if all_intersects:
+        # leaf test and admissible filter coincide: one pre-packed broadcast
+        scorer = make_count_scorer(constraints)
+
+        def score_node(node: Node, _is_leaf: bool) -> np.ndarray:
+            return scorer(node.bounds_array())
+
+    else:
+        leaf_scorer = make_count_scorer(constraints, "test")
+        inner_scorer = make_count_scorer(constraints, "filter")
+
+        def score_node(node: Node, is_leaf: bool) -> np.ndarray:
+            array = node.bounds_array()
+            return leaf_scorer(array) if is_leaf else inner_scorer(array)
+
+    best: BestValue | None = None
+    best_score = floor_score
+    stats = tree.stats
+    pager = tree.pager
+
+    def descend(node: Node) -> None:
+        nonlocal best, best_score
+        stats.node_reads += 1
+        if pager is not None:
+            pager.access(id(node))
+        is_leaf = node.is_leaf
+        if is_leaf:
+            stats.leaf_reads += 1
+        counts = score_node(node, is_leaf)
+        candidates = np.flatnonzero(counts > best_score)
+        if candidates.size == 0:
+            return
+        # visit high-count entries first so the bound tightens early; the
+        # stable sort preserves entry order among ties, matching the scalar
+        # path's stable list sort exactly
+        order = candidates[np.argsort(-counts[candidates], kind="stable")]
+        children = node.children
+        if is_leaf:
+            for position in order:
+                satisfied = int(counts[position])
+                if satisfied <= best_score:
+                    break  # sorted: the rest are no better
+                item = children[position]
+                score = float(satisfied)
+                if penalty is not None:
+                    score -= penalty(item)
+                if score > best_score:
+                    best_score = score
+                    best = BestValue(item, node.bounds[position], satisfied, score)
+        else:
+            for position in order:
+                # re-check: descending a sibling may have raised the bound
+                if counts[position] > best_score:
+                    descend(children[position])
+
+    descend(tree.root)
+    return best
+
+
+def _find_best_value_scalar(
+    tree: RStarTree,
+    constraints: list[tuple[SpatialPredicate, Rect]],
+    floor_score: float,
+    penalty: Callable[[Any], float] | None,
+) -> BestValue | None:
+    """Original object-at-a-time search (the kernel oracle)."""
     best: BestValue | None = None
     best_score = floor_score
     stats = tree.stats
@@ -134,13 +236,13 @@ def find_best_value(
     return best
 
 
-def _find_best_value_intersects(
+def _find_best_value_intersects_scalar(
     tree: RStarTree,
     constraints: list[tuple[SpatialPredicate, Rect]],
     floor_score: float,
     penalty: Callable[[Any], float] | None,
 ) -> BestValue | None:
-    """Hot path of :func:`find_best_value` for all-``intersects`` queries.
+    """Scalar hot path for all-``intersects`` queries.
 
     Behaviourally identical to the generic search; the rectangle/window
     tests are inlined on raw coordinates because for ``intersects`` the
@@ -191,15 +293,51 @@ def _find_best_value_intersects(
 
 
 def brute_force_best_value(
-    rects: list[Rect],
+    rects: Sequence[Rect] | RectColumns,
     constraints: list[tuple[SpatialPredicate, Rect]],
     floor_score: float,
     penalty: Callable[[Any], float] | None = None,
+    use_kernels: bool = True,
 ) -> BestValue | None:
     """Reference implementation scanning every object; the test oracle for
-    :func:`find_best_value` (identical contract, no index)."""
+    :func:`find_best_value` (identical contract, no index).
+
+    Accepts either a plain rectangle sequence or a pre-built
+    :class:`~repro.geometry.kernels.RectColumns`; with ``use_kernels`` the
+    scan is a handful of NumPy reductions instead of an object-at-a-time
+    loop.
+    """
     if not constraints:
         return None
+    if use_kernels:
+        columns = (
+            rects if isinstance(rects, RectColumns) else RectColumns.from_rects(rects)
+        )
+        counts = count_satisfied(columns, constraints)
+        candidates = np.flatnonzero(counts > floor_score)
+        if candidates.size == 0:
+            return None
+        if penalty is None:
+            # first occurrence of the maximum == the scalar loop's winner
+            position = int(candidates[np.argmax(counts[candidates])])
+            satisfied = int(counts[position])
+            return BestValue(position, columns.rect(position), satisfied, float(satisfied))
+        # penalties are non-negative, so only rows with counts > floor can
+        # exceed the floor after subtraction; score just those
+        scores = counts[candidates].astype(np.float64)
+        scores -= np.array([penalty(int(item)) for item in candidates])
+        best_relative = int(np.argmax(scores))
+        if scores[best_relative] <= floor_score:
+            return None
+        position = int(candidates[best_relative])
+        return BestValue(
+            position,
+            columns.rect(position),
+            int(counts[position]),
+            float(scores[best_relative]),
+        )
+    if isinstance(rects, RectColumns):
+        rects = [rects.rect(index) for index in range(len(rects))]
     best: BestValue | None = None
     best_score = floor_score
     for item, rect in enumerate(rects):

@@ -71,6 +71,28 @@ class Budget:
         """A fresh, unstarted budget with the same limits."""
         return Budget(self.time_limit, self.max_iterations, self._clock)
 
+    def split(self, fraction: float) -> "Budget":
+        """A fresh, unstarted budget holding ``fraction`` of the limits.
+
+        The public way to hand one share of a budget to a portfolio member
+        or a parallel restart: time limits scale proportionally, iteration
+        limits scale but never drop below one iteration, and the member
+        keeps the parent's clock so injected test clocks stay in control.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return Budget(
+            time_limit=(
+                self.time_limit * fraction if self.time_limit is not None else None
+            ),
+            max_iterations=(
+                max(1, int(self.max_iterations * fraction))
+                if self.max_iterations is not None
+                else None
+            ),
+            clock=self._clock,
+        )
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

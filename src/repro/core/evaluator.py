@@ -5,13 +5,26 @@ Bridges the query model and the search algorithms: given a
 many join conditions does this tuple violate?" — the *inconsistency degree*
 that all of the paper's heuristics minimise — and produces the mutable
 :class:`~repro.core.solution.SolutionState` objects they climb on.
+
+Single-assignment checks (``count_violations``) stay scalar — an assignment
+touches only ``E`` edges and NumPy dispatch would cost more than it saves —
+but everything population-shaped is vectorized through the columnar kernels:
+:meth:`QueryEvaluator.count_violations_batch` and
+:meth:`QueryEvaluator.satisfied_counts_batch` evaluate a whole matrix of
+assignments with one gather + one predicate kernel per query edge, which is
+what SEA's population construction and the benchmark suite use.
+``use_kernels=False`` keeps every path object-at-a-time for oracle testing.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
-from ..geometry import Rect, SpatialPredicate
+import numpy as np
+
+from ..geometry import Rect, RectColumns, SpatialPredicate
+from ..geometry.kernels import test_pairs
 from ..index import RStarTree
 from ..query import ProblemInstance
 from .solution import SolutionState
@@ -22,7 +35,7 @@ __all__ = ["QueryEvaluator"]
 class QueryEvaluator:
     """Precomputed adjacency + rectangle tables for fast violation counting."""
 
-    def __init__(self, instance: ProblemInstance):
+    def __init__(self, instance: ProblemInstance, use_kernels: bool = True):
         if not instance.query.is_connected():
             raise ValueError(
                 "disconnected query graphs are Cartesian products; "
@@ -30,11 +43,16 @@ class QueryEvaluator:
             )
         self.instance = instance
         self.query = instance.query
+        self.use_kernels = use_kernels
         self.num_variables = instance.query.num_variables
         self.num_constraints = instance.query.num_edges
         #: rects[i][oid] — the MBR of object ``oid`` of dataset ``i``
         self.rects: list[list[Rect]] = [dataset.rects for dataset in instance.datasets]
         self.trees: list[RStarTree] = [dataset.tree for dataset in instance.datasets]
+        #: columns[i] — columnar view of dataset ``i`` (shared with the dataset)
+        self.columns: list[RectColumns] = [
+            dataset.columns for dataset in instance.datasets
+        ]
         #: neighbors[i] — list of ``(j, predicate oriented from i)``
         self.neighbors: list[list[tuple[int, SpatialPredicate]]] = [
             sorted(instance.query.neighbors(i).items())
@@ -74,6 +92,72 @@ class QueryEvaluator:
         return 1.0 - violations / self.num_constraints
 
     # ------------------------------------------------------------------
+    # batched checks (columnar kernels)
+    # ------------------------------------------------------------------
+    def _edge_masks(self, values: np.ndarray):
+        """Per query edge, the satisfied mask over a ``(k, n)`` value matrix."""
+        columns = self.columns
+        for i, j, predicate in self.query.edges():
+            rows_i = columns[i].take(values[:, i])
+            rows_j = columns[j].take(values[:, j])
+            mask = test_pairs(predicate, rows_i, rows_j)
+            if mask is None:  # exotic predicate: scalar fallback per row
+                rects_i, rects_j = self.rects[i], self.rects[j]
+                mask = np.fromiter(
+                    (
+                        predicate.test(rects_i[int(a)], rects_j[int(b)])
+                        for a, b in zip(values[:, i], values[:, j])
+                    ),
+                    dtype=bool,
+                    count=len(values),
+                )
+            yield i, j, mask
+
+    def count_violations_batch(
+        self, values: Sequence[Sequence[int]] | np.ndarray
+    ) -> np.ndarray:
+        """Inconsistency degree of every row of a ``(k, n)`` value matrix.
+
+        Vectorized per edge: one fancy-indexed gather of both endpoint
+        columns and one predicate kernel over all ``k`` assignments.
+        Equals ``[count_violations(row) for row in values]`` exactly.
+        """
+        matrix = np.asarray(values, dtype=np.intp)
+        if matrix.ndim != 2 or matrix.shape[1] != self.num_variables:
+            raise ValueError(
+                f"expected a (k, {self.num_variables}) value matrix, "
+                f"got shape {matrix.shape}"
+            )
+        if not self.use_kernels:
+            return np.array(
+                [self.count_violations(row) for row in matrix.tolist()], dtype=np.intp
+            )
+        violations = np.zeros(len(matrix), dtype=np.intp)
+        for _i, _j, mask in self._edge_masks(matrix):
+            violations += ~mask
+        return violations
+
+    def satisfied_counts_batch(
+        self, values: Sequence[Sequence[int]] | np.ndarray
+    ) -> np.ndarray:
+        """Per-variable satisfied counts for every row: shape ``(k, n)``."""
+        matrix = np.asarray(values, dtype=np.intp)
+        if matrix.ndim != 2 or matrix.shape[1] != self.num_variables:
+            raise ValueError(
+                f"expected a (k, {self.num_variables}) value matrix, "
+                f"got shape {matrix.shape}"
+            )
+        if not self.use_kernels:
+            return np.array(
+                [self.satisfied_counts(row) for row in matrix.tolist()], dtype=np.intp
+            )
+        counts = np.zeros(matrix.shape, dtype=np.intp)
+        for i, j, mask in self._edge_masks(matrix):
+            counts[:, i] += mask
+            counts[:, j] += mask
+        return counts
+
+    # ------------------------------------------------------------------
     # solution construction
     # ------------------------------------------------------------------
     def random_values(self, rng: random.Random) -> list[int]:
@@ -84,5 +168,28 @@ class QueryEvaluator:
         """Wrap an assignment in an incrementally-maintained state."""
         return SolutionState(self, list(values))
 
+    def make_states(self, values_list: Sequence[Sequence[int]]) -> list[SolutionState]:
+        """Wrap many assignments at once, sharing one batched count pass."""
+        values_list = [list(values) for values in values_list]
+        if not values_list:
+            return []
+        if not self.use_kernels:
+            return [self.make_state(values) for values in values_list]
+        counts = self.satisfied_counts_batch(values_list)
+        return [
+            SolutionState.from_counts(self, values, row)
+            for values, row in zip(values_list, counts.tolist())
+        ]
+
     def random_state(self, rng: random.Random) -> SolutionState:
         return self.make_state(self.random_values(rng))
+
+    def random_states(self, rng: random.Random, count: int) -> list[SolutionState]:
+        """``count`` random states, batch-evaluated.
+
+        Draws from ``rng`` in exactly the same order as ``count`` successive
+        :meth:`random_state` calls, so seeded runs are reproducible across
+        the scalar and batched construction paths.
+        """
+        values_list = [self.random_values(rng) for _ in range(count)]
+        return self.make_states(values_list)

@@ -1,0 +1,216 @@
+"""Process-parallel execution of independent search runs.
+
+The paper's heuristics are embarrassingly parallel across *restarts*: two
+ILS/GILS/SEA runs with different seeds share nothing but the (read-only)
+problem instance.  This module exploits that with a
+:class:`~concurrent.futures.ProcessPoolExecutor`: the instance is shipped to
+each worker once (pool initializer, not per task), every restart runs the
+full vectorized kernel stack on its own core, and the reduction keeps the
+best solution found by any member.
+
+Determinism
+-----------
+Each member's seed is *derived* — a BLAKE2b hash of ``(base seed, member
+index)`` — so a member's trajectory depends only on its index, never on
+which worker ran it or in which order results arrived.  Ties between members
+are broken by member index.  Consequently, for iteration-limited budgets,
+``parallel_restarts(seed=k, workers=n)`` returns the same best assignment
+for every ``n`` (including the inline ``workers=1`` path); wall-clock
+budgets remain timing-dependent, exactly as in sequential runs.
+
+Everything crossing the process boundary is a plain picklable payload:
+:class:`RunSpec` carries the heuristic *name* (looked up in
+:data:`repro.core.two_step.HEURISTICS` inside the worker) and raw budget
+limits, never callables or live ``Budget`` objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..query import ProblemInstance
+from .budget import Budget
+from .evaluator import QueryEvaluator
+from .result import ConvergenceTrace, RunResult
+
+__all__ = ["RunSpec", "derive_seed", "default_workers", "parallel_restarts", "run_specs"]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A stable 64-bit seed for member ``index`` of a run seeded ``base_seed``.
+
+    Hash-derived (BLAKE2b) rather than ``base_seed + index`` so that member
+    streams are decorrelated and independent of Python's salted ``hash``.
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers=None``: one per available core."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable unit of work: a heuristic, a seed and budget limits."""
+
+    heuristic: str
+    seed: int
+    time_limit: float | None
+    max_iterations: int | None
+    index: int
+
+    def budget(self) -> Budget:
+        return Budget(time_limit=self.time_limit, max_iterations=self.max_iterations)
+
+
+# Per-process state: the instance and its evaluator are materialised once per
+# worker (pool initializer) instead of once per task, so shipping a large
+# instance costs one pickle per core, not one per restart.
+_WORKER_INSTANCE: ProblemInstance | None = None
+_WORKER_EVALUATOR: QueryEvaluator | None = None
+
+
+def _init_worker(instance: ProblemInstance, use_kernels: bool) -> None:
+    global _WORKER_INSTANCE, _WORKER_EVALUATOR
+    _WORKER_INSTANCE = instance
+    _WORKER_EVALUATOR = QueryEvaluator(instance, use_kernels=use_kernels)
+
+
+def _run_spec_in_worker(spec: RunSpec) -> RunResult:
+    assert _WORKER_INSTANCE is not None and _WORKER_EVALUATOR is not None
+    return _execute_spec(spec, _WORKER_INSTANCE, _WORKER_EVALUATOR)
+
+
+def _execute_spec(
+    spec: RunSpec, instance: ProblemInstance, evaluator: QueryEvaluator
+) -> RunResult:
+    from .two_step import HEURISTICS  # local import: avoids a module cycle
+
+    try:
+        runner = HEURISTICS[spec.heuristic]
+    except KeyError:
+        known = ", ".join(sorted(HEURISTICS))
+        raise ValueError(
+            f"unknown heuristic {spec.heuristic!r}; known: {known}"
+        ) from None
+    return runner(instance, spec.budget(), spec.seed, evaluator)
+
+
+def run_specs(
+    instance: ProblemInstance,
+    specs: list[RunSpec],
+    workers: int | None = None,
+    evaluator: QueryEvaluator | None = None,
+    use_kernels: bool = True,
+) -> list[RunResult]:
+    """Execute ``specs`` and return their results in spec order.
+
+    ``workers=1`` (or a single spec) runs inline in this process — no pool,
+    no pickling — which is also the reference behaviour the determinism
+    tests compare multi-worker runs against.
+    """
+    workers = default_workers() if workers is None else max(1, workers)
+    if workers == 1 or len(specs) <= 1:
+        evaluator = evaluator or QueryEvaluator(instance, use_kernels=use_kernels)
+        return [_execute_spec(spec, instance, evaluator) for spec in specs]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(specs)),
+        initializer=_init_worker,
+        initargs=(instance, use_kernels),
+    ) as pool:
+        return list(pool.map(_run_spec_in_worker, specs))
+
+
+def parallel_restarts(
+    instance: ProblemInstance,
+    budget: Budget,
+    seed: int = 0,
+    heuristic: str = "sea",
+    restarts: int = 4,
+    workers: int | None = None,
+    evaluator: QueryEvaluator | None = None,
+    use_kernels: bool = True,
+) -> RunResult:
+    """Best-of-``restarts`` independent runs of one heuristic.
+
+    Every member receives a fresh budget with the *same* limits (members run
+    concurrently, so the wall-clock cost is one member's budget, not their
+    sum) and the seed ``derive_seed(seed, index)``.  The returned result is
+    the member with the fewest violations — ties broken by member index —
+    with the members' traces merged into one monotone staircase and their
+    summaries kept under ``stats["members"]``.
+    """
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    specs = [
+        RunSpec(
+            heuristic=heuristic,
+            seed=derive_seed(seed, index),
+            time_limit=budget.time_limit,
+            max_iterations=budget.max_iterations,
+            index=index,
+        )
+        for index in range(restarts)
+    ]
+    started = time.perf_counter()
+    results = run_specs(instance, specs, workers, evaluator, use_kernels)
+    elapsed = time.perf_counter() - started
+
+    best = min(enumerate(results), key=lambda pair: (pair[1].best_violations, pair[0]))
+    winner_index, winner = best
+    merged = _merge_concurrent_traces(results)
+    return RunResult(
+        algorithm=f"parallel({heuristic}×{restarts})",
+        best_assignment=winner.best_assignment,
+        best_violations=winner.best_violations,
+        best_similarity=winner.best_similarity,
+        elapsed=elapsed,
+        iterations=sum(result.iterations for result in results),
+        milestones=sum(result.milestones for result in results),
+        trace=merged,
+        stats={
+            "members": [member_stats(result) for result in results],
+            "winner": winner_index,
+            "restarts": restarts,
+        },
+    )
+
+
+def member_stats(result: RunResult) -> dict:
+    """Structured per-member digest kept under ``stats["members"]``."""
+    return {
+        "algorithm": result.algorithm,
+        "violations": result.best_violations,
+        "similarity": result.best_similarity,
+        "iterations": result.iterations,
+        "elapsed": result.elapsed,
+    }
+
+
+def _merge_concurrent_traces(results: list[RunResult]) -> ConvergenceTrace:
+    """Merge concurrent member traces into one improving staircase.
+
+    Members run on a common wall clock, so points are interleaved by
+    ``elapsed`` and only kept while they improve on everything seen earlier.
+    """
+    merged = ConvergenceTrace()
+    points = sorted(
+        (point for result in results for point in result.trace.points),
+        key=lambda point: (point.elapsed, point.violations),
+    )
+    best = None
+    for point in points:
+        if best is None or point.violations < best:
+            best = point.violations
+            merged.record(
+                point.elapsed, point.iterations, point.violations, point.similarity
+            )
+    return merged

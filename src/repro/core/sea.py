@@ -110,14 +110,12 @@ def spatial_evolutionary_algorithm(
     budget.start()
 
     trace = ConvergenceTrace()
+    # the whole initial population is evaluated in one batched kernel pass;
+    # values are drawn in the same rng order as per-state construction
+    population = evaluator.random_states(rng, parameters.population)
     if config.seed_with_local_maxima:
         population = [
-            _climb_to_local_maximum(evaluator.random_state(rng), evaluator, budget)
-            for _ in range(parameters.population)
-        ]
-    else:
-        population = [
-            evaluator.random_state(rng) for _ in range(parameters.population)
+            _climb_to_local_maximum(state, evaluator, budget) for state in population
         ]
     best_values: tuple[int, ...] = population[0].as_tuple()
     best_violations = population[0].violations

@@ -101,6 +101,23 @@ class SolutionState:
         clone.satisfied_edges = self.satisfied_edges
         return clone
 
+    @classmethod
+    def from_counts(
+        cls, evaluator: "QueryEvaluator", values: list[int], sat: list[int]
+    ) -> "SolutionState":
+        """Build a state from pre-computed satisfied counts.
+
+        Used by :meth:`QueryEvaluator.make_states`, which evaluates a whole
+        population of assignments with the batched kernels and must not pay
+        the per-state edge recount of ``__init__``.
+        """
+        state = cls.__new__(cls)
+        state.evaluator = evaluator
+        state.values = list(values)
+        state.sat = [int(count) for count in sat]
+        state.satisfied_edges = sum(state.sat) // 2
+        return state
+
     # ------------------------------------------------------------------
     # search policies
     # ------------------------------------------------------------------

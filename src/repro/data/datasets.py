@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from ..geometry import Rect
+from ..geometry import Rect, RectColumns
 from ..index import RStarTree, bulk_load
 from .density import density_of_rects
 
@@ -50,6 +50,7 @@ class SpatialDataset:
         if len(rects) == 0:
             raise ValueError("a dataset must contain at least one object")
         self._rects = list(rects)
+        self._columns: RectColumns | None = None
         self.name = name
         self.workspace = workspace
         if tree is not None:
@@ -79,6 +80,18 @@ class SpatialDataset:
     def rects(self) -> list[Rect]:
         """The object table (treat as read-only; the index mirrors it)."""
         return self._rects
+
+    @property
+    def columns(self) -> RectColumns:
+        """Columnar (four contiguous float64 arrays) view of the table.
+
+        Built lazily on first access and cached — valid forever because the
+        dataset is immutable.  This is the layout the vectorized kernels in
+        :mod:`repro.geometry.kernels` consume.
+        """
+        if self._columns is None:
+            self._columns = RectColumns.from_rects(self._rects)
+        return self._columns
 
     # ------------------------------------------------------------------
     # derived measures

@@ -9,14 +9,23 @@ A node stores parallel lists ``bounds``/``children``:
 
 Parallel lists keep the hot traversal loops (window queries and the
 ``find_best_value`` branch-and-bound of the paper) tight: they iterate over
-``bounds`` without touching child objects until a bound qualifies.
+``bounds`` without touching child objects until a bound qualifies.  On top
+of the lists each node lazily caches a packed ``(len, 4)`` float64 array of
+its bounds (:meth:`Node.bounds_array`), so the vectorized kernels of
+:mod:`repro.geometry.kernels` can score every entry of a node in one NumPy
+call.  Every mutation of ``bounds`` must go through a :class:`Node` method —
+they all invalidate the cache; writing ``node.bounds[i]`` directly would
+leave a stale array behind.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator
 
+import numpy as np
+
 from ..geometry import Rect, union_all
+from ..geometry.kernels import pack_bounds
 
 __all__ = ["Node"]
 
@@ -24,7 +33,7 @@ __all__ = ["Node"]
 class Node:
     """One R-tree node; ``level`` 0 marks leaves, the root has the maximum."""
 
-    __slots__ = ("level", "bounds", "children", "parent", "mbr")
+    __slots__ = ("level", "bounds", "children", "parent", "mbr", "_bounds_array")
 
     def __init__(self, level: int):
         self.level = level
@@ -33,6 +42,9 @@ class Node:
         self.parent: Node | None = None
         #: cached union of ``bounds``; ``None`` while the node is empty
         self.mbr: Rect | None = None
+        #: cached packed ``(len, 4)`` bounds; ``None`` until requested /
+        #: after any mutation (see :meth:`bounds_array`)
+        self._bounds_array: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # basic container behaviour
@@ -47,6 +59,19 @@ class Node:
     def entries(self) -> Iterator[tuple[Rect, Any]]:
         return zip(self.bounds, self.children)
 
+    def bounds_array(self) -> np.ndarray:
+        """The packed ``(len, 4)`` float64 view of ``bounds``, cached.
+
+        Rebuilt lazily after any mutating method ran; the invalidation rule
+        is simply "every mutator clears the cache", which keeps dynamic
+        inserts/splits/reinserts correct without refcounting.
+        """
+        array = self._bounds_array
+        if array is None:
+            array = pack_bounds(self.bounds)
+            self._bounds_array = array
+        return array
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -54,6 +79,7 @@ class Node:
         """Append one entry and extend the cached MBR accordingly."""
         self.bounds.append(rect)
         self.children.append(child)
+        self._bounds_array = None
         if isinstance(child, Node):
             child.parent = self
         self.mbr = rect if self.mbr is None else self.mbr.union(rect)
@@ -62,6 +88,7 @@ class Node:
         """Remove and return the entry at ``position``; recomputes the MBR."""
         rect = self.bounds.pop(position)
         child = self.children.pop(position)
+        self._bounds_array = None
         if isinstance(child, Node):
             child.parent = None
         self.recompute_mbr()
@@ -73,6 +100,7 @@ class Node:
             raise ValueError("bounds/children length mismatch")
         self.bounds = bounds
         self.children = children
+        self._bounds_array = None
         for child in children:
             if isinstance(child, Node):
                 child.parent = self
@@ -81,13 +109,18 @@ class Node:
     def recompute_mbr(self) -> None:
         self.mbr = union_all(self.bounds) if self.bounds else None
 
+    def set_bound(self, position: int, rect: Rect) -> None:
+        """Overwrite one bound (growth propagation); recomputes the MBR."""
+        self.bounds[position] = rect
+        self._bounds_array = None
+        self.recompute_mbr()
+
     def update_child_bound(self, child: "Node") -> None:
         """Refresh the cached bound of ``child`` after it changed shape."""
         position = self.children.index(child)
         if child.mbr is None:
             raise ValueError("child node has no MBR")
-        self.bounds[position] = child.mbr
-        self.recompute_mbr()
+        self.set_bound(position, child.mbr)
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -108,6 +141,10 @@ class Node:
             assert self.mbr == union_all(self.bounds), "stale cached MBR"
         else:
             assert self.mbr is None, "non-empty MBR on empty node"
+        if self._bounds_array is not None:
+            assert self._bounds_array.shape == (len(self.bounds), 4) and bool(
+                (self._bounds_array == pack_bounds(self.bounds)).all()
+            ), "stale packed bounds array"
         if not self.is_leaf:
             for rect, child in self.entries():
                 assert isinstance(child, Node), "non-node child in internal node"

@@ -167,8 +167,7 @@ class RStarTree:
             if grown is None:
                 raise AssertionError("growth propagation reached an empty node")
             if parent.bounds[position] != grown:
-                parent.bounds[position] = grown
-                parent.recompute_mbr()
+                parent.set_bound(position, grown)
             node = parent
 
     # ------------------------------------------------------------------

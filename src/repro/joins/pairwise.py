@@ -11,13 +11,22 @@ intersecting objects.  Two classic optimisations from Brinkhoff et al.:
 
 Trees of different heights are handled by descending only the deeper tree
 until levels align.
+
+Node-level filters (which entries can intersect the partner node's MBR or
+the common clipping region) are evaluated with one vectorized kernel call
+over the node's packed bounds array; pass ``use_kernels=False`` to
+:func:`rtree_join` for the scalar reference behaviour.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator
 
+import numpy as np
+
 from ..geometry import Rect
+from ..geometry.kernels import split_columns, test_pairs, window_columns
+from ..geometry.predicates import INTERSECTS
 from ..index import RStarTree
 from ..index.node import Node
 
@@ -25,7 +34,7 @@ __all__ = ["rtree_join"]
 
 
 def rtree_join(
-    tree_a: RStarTree, tree_b: RStarTree
+    tree_a: RStarTree, tree_b: RStarTree, use_kernels: bool = True
 ) -> Iterator[tuple[Any, Any]]:
     """Yield every ``(item_a, item_b)`` whose rectangles intersect."""
     root_a, root_b = tree_a.root, tree_b.root
@@ -33,11 +42,26 @@ def rtree_join(
         return
     if not root_a.mbr.intersects(root_b.mbr):
         return
-    yield from _join_nodes(root_a, root_b, tree_a, tree_b)
+    yield from _join_nodes(root_a, root_b, tree_a, tree_b, use_kernels)
+
+
+def _entries_intersecting(
+    node: Node, window: Rect, use_kernels: bool
+) -> list[tuple[Rect, Any]]:
+    """The node's entries whose bounds intersect ``window``."""
+    if use_kernels:
+        mask = test_pairs(
+            INTERSECTS, split_columns(node.bounds_array()), window_columns(window)
+        )
+        bounds, children = node.bounds, node.children
+        return [
+            (bounds[position], children[position]) for position in np.flatnonzero(mask)
+        ]
+    return [(rect, child) for rect, child in node.entries() if rect.intersects(window)]
 
 
 def _join_nodes(
-    node_a: Node, node_b: Node, tree_a: RStarTree, tree_b: RStarTree
+    node_a: Node, node_b: Node, tree_a: RStarTree, tree_b: RStarTree, use_kernels: bool
 ) -> Iterator[tuple[Any, Any]]:
     tree_a.stats.node_reads += 1
     tree_b.stats.node_reads += 1
@@ -53,29 +77,31 @@ def _join_nodes(
     if node_a.is_leaf or (not node_b.is_leaf and node_b.level > node_a.level):
         # descend only the deeper side until levels align
         assert node_a.mbr is not None
-        for rect_b, child_b in node_b.entries():
-            if rect_b.intersects(node_a.mbr):
-                yield from _join_nodes(node_a, child_b, tree_a, tree_b)
+        for _rect_b, child_b in _entries_intersecting(node_b, node_a.mbr, use_kernels):
+            yield from _join_nodes(node_a, child_b, tree_a, tree_b, use_kernels)
         return
     if node_b.is_leaf or node_a.level > node_b.level:
         assert node_b.mbr is not None
-        for rect_a, child_a in node_a.entries():
-            if rect_a.intersects(node_b.mbr):
-                yield from _join_nodes(child_a, node_b, tree_a, tree_b)
+        for _rect_a, child_a in _entries_intersecting(node_a, node_b.mbr, use_kernels):
+            yield from _join_nodes(child_a, node_b, tree_a, tree_b, use_kernels)
         return
     # same internal level: match children inside the nodes' common region
     assert node_a.mbr is not None and node_b.mbr is not None
     common = node_a.mbr.intersection(node_b.mbr)
     if common is None:
         return
-    entries_a = [(r, c) for r, c in node_a.entries() if r.intersects(common)]
-    entries_b = [(r, c) for r, c in node_b.entries() if r.intersects(common)]
-    for rect_a, child_a, _rect_b, child_b in _sweep(entries_a, entries_b):
-        yield from _join_nodes(child_a, child_b, tree_a, tree_b)
+    entries_a = _entries_intersecting(node_a, common, use_kernels)
+    entries_b = _entries_intersecting(node_b, common, use_kernels)
+    entries_a.sort(key=lambda entry: entry[0].xmin)
+    entries_b.sort(key=lambda entry: entry[0].xmin)
+    for _rect_a, child_a, _rect_b, child_b in _sweep(entries_a, entries_b):
+        yield from _join_nodes(child_a, child_b, tree_a, tree_b, use_kernels)
 
 
 def _sweep_pairs(leaf_a: Node, leaf_b: Node) -> Iterator[tuple[Any, Any]]:
-    for _ra, item_a, _rb, item_b in _sweep(list(leaf_a.entries()), list(leaf_b.entries())):
+    entries_a = sorted(leaf_a.entries(), key=lambda entry: entry[0].xmin)
+    entries_b = sorted(leaf_b.entries(), key=lambda entry: entry[0].xmin)
+    for _ra, item_a, _rb, item_b in _sweep(entries_a, entries_b):
         yield item_a, item_b
 
 
@@ -84,27 +110,37 @@ def _sweep(
 ) -> Iterator[tuple[Rect, Any, Rect, Any]]:
     """Forward plane sweep over two x-sorted entry lists.
 
+    Both inputs must already be sorted by ``xmin`` — callers sort once per
+    node visit.  The inner scans are index-based (no per-step list slices,
+    which used to make the sweep quadratic in allocation volume).
+
     Yields all 4-tuples ``(rect_a, payload_a, rect_b, payload_b)`` with
     intersecting rectangles.
     """
-    entries_a = sorted(entries_a, key=lambda entry: entry[0].xmin)
-    entries_b = sorted(entries_b, key=lambda entry: entry[0].xmin)
+    length_a = len(entries_a)
+    length_b = len(entries_b)
     index_a = index_b = 0
-    while index_a < len(entries_a) and index_b < len(entries_b):
+    while index_a < length_a and index_b < length_b:
         rect_a, payload_a = entries_a[index_a]
         rect_b, payload_b = entries_b[index_b]
         if rect_a.xmin <= rect_b.xmin:
             # sweep rect_a against b-entries starting at index_b
-            for other_rect, other_payload in entries_b[index_b:]:
+            scan = index_b
+            while scan < length_b:
+                other_rect, other_payload = entries_b[scan]
                 if other_rect.xmin > rect_a.xmax:
                     break
                 if rect_a.ymin <= other_rect.ymax and other_rect.ymin <= rect_a.ymax:
                     yield rect_a, payload_a, other_rect, other_payload
+                scan += 1
             index_a += 1
         else:
-            for other_rect, other_payload in entries_a[index_a:]:
+            scan = index_a
+            while scan < length_a:
+                other_rect, other_payload = entries_a[scan]
                 if other_rect.xmin > rect_b.xmax:
                     break
                 if rect_b.ymin <= other_rect.ymax and other_rect.ymin <= rect_b.ymax:
                     yield other_rect, other_payload, rect_b, payload_b
+                scan += 1
             index_b += 1

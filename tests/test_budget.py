@@ -106,3 +106,36 @@ class TestCombined:
         assert not fresh.exhausted()
         assert fresh.time_limit == 1.0
         assert fresh.max_iterations == 5
+
+
+class TestSplit:
+    def test_scales_both_limits(self):
+        budget = Budget(time_limit=10.0, max_iterations=100)
+        share = budget.split(0.25)
+        assert share.time_limit == pytest.approx(2.5)
+        assert share.max_iterations == 25
+
+    def test_preserves_unlimited_dimensions(self):
+        assert Budget.seconds(8.0).split(0.5).max_iterations is None
+        assert Budget.iterations(8).split(0.5).time_limit is None
+
+    def test_iteration_share_never_below_one(self):
+        assert Budget.iterations(2).split(0.1).max_iterations == 1
+
+    def test_share_is_fresh_and_keeps_the_clock(self):
+        clock = FakeClock()
+        budget = Budget.seconds(10.0, clock=clock).start()
+        clock.advance(9.0)
+        share = budget.split(0.2)
+        assert not share.exhausted()  # its own clock origin, not the parent's
+        clock.advance(1.9)
+        assert not share.exhausted()
+        clock.advance(0.2)
+        assert share.exhausted()  # 2.0s share measured on the injected clock
+
+    def test_rejects_bad_fractions(self):
+        budget = Budget.iterations(10)
+        for fraction in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                budget.split(fraction)
+        assert budget.split(1.0).max_iterations == 10

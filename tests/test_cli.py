@@ -49,6 +49,36 @@ class TestSolveCommand:
         assert "similarity=" in out
         assert "instance:" in out
 
+    def test_solve_portfolio(self, capsys):
+        out = self.run(
+            [
+                "solve",
+                "--query", "clique",
+                "--variables", "3",
+                "--cardinality", "60",
+                "--algorithm", "portfolio",
+                "--seconds", "0.3",
+            ],
+            capsys,
+        )
+        assert "portfolio(" in out
+
+    def test_solve_restarts(self, capsys):
+        out = self.run(
+            [
+                "solve",
+                "--query", "clique",
+                "--variables", "3",
+                "--cardinality", "60",
+                "--algorithm", "ils",
+                "--restarts", "2",
+                "--workers", "1",
+                "--seconds", "0.2",
+            ],
+            capsys,
+        )
+        assert "parallel(ils×2)" in out
+
     def test_solve_two_step(self, capsys):
         out = self.run(
             [
