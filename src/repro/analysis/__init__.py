@@ -1,0 +1,36 @@
+"""Static analysis for the repro engine: the ``repro-lint`` checker suite.
+
+The framework (:mod:`repro.analysis.framework`) parses each source file
+once and dispatches to registered :class:`~repro.analysis.framework.Checker`
+subclasses; the project's invariants live in :mod:`repro.analysis.rules`
+(RL001–RL005) and the console entry point in :mod:`repro.analysis.cli`.
+"""
+
+from .framework import (
+    AnalysisContext,
+    Checker,
+    Finding,
+    Module,
+    all_checkers,
+    analyze_paths,
+    findings_from_json,
+    lint_source,
+    register,
+    render_json,
+    render_text,
+)
+from . import rules  # noqa: F401  (side effect: registers RL001-RL005)
+
+__all__ = [
+    "AnalysisContext",
+    "Checker",
+    "Finding",
+    "Module",
+    "all_checkers",
+    "analyze_paths",
+    "findings_from_json",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,112 @@
+"""``repro-lint`` — run the project's invariant checkers from the shell.
+
+Examples::
+
+    repro-lint src tests                # the CI gate
+    repro-lint --format json src        # machine-readable report
+    repro-lint --select RL002 src       # one rule only
+    repro-lint --list-rules             # what is enforced, in one screen
+
+Exit status: ``0`` when clean, ``1`` when findings were reported, ``2`` on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .framework import (
+    AnalysisContext,
+    all_checkers,
+    analyze_paths,
+    render_json,
+    render_text,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checkers for the repro engine "
+        "(rules RL001-RL005; see docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root used for rule scoping and the parity-test "
+        "registry (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _split_rules(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [rule.strip() for rule in value.split(",") if rule.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, checker in sorted(all_checkers().items()):
+            print(f"{rule_id}  {checker.description}")
+        return 0
+
+    root = Path(options.root)
+    missing = [path for path in options.paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+    try:
+        findings = analyze_paths(
+            options.paths,
+            root=root,
+            select=_split_rules(options.select),
+            disable=_split_rules(options.disable),
+            context=AnalysisContext.from_root(root),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    if options.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

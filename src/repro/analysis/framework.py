@@ -1,0 +1,391 @@
+"""Pluggable AST-based static analysis for the repro engine.
+
+PR 1 introduced conventions that nothing enforced statically: vectorized
+paths keep ``use_kernels=False`` scalar twins, :class:`~repro.index.node.Node`
+mutators invalidate the cached bounds array, and all randomness / clock
+access flows through seeded RNGs and :class:`~repro.core.budget.Budget`.
+This module is the enforcement layer — a small checker framework that
+parses every source file once, hands the tree to a registry of project
+rules (:mod:`repro.analysis.rules`), and reports :class:`Finding` records
+with stable rule ids, precise locations and fix hints.
+
+Architecture
+------------
+* :class:`Checker` — one rule; subclasses register themselves with
+  :func:`register` and receive a parsed :class:`Module` per file.
+* :class:`AnalysisContext` — project-level inputs shared by all checkers
+  (the project root and the kernel-parity registry extracted from
+  ``tests/test_kernels.py``).
+* :func:`analyze_paths` / :func:`lint_source` — the batch and single-source
+  entry points; the ``repro-lint`` console script wraps the former.
+* Suppressions — a trailing ``# repro-lint: disable=RL001`` comment mutes
+  matching findings on that physical line; ``# repro-lint: disable-file=RL001``
+  anywhere mutes a rule for the whole file.  ``disable=all`` mutes every rule.
+
+The framework itself knows nothing about the individual invariants, so new
+rules are one subclass away and third-party extensions can call
+:func:`register` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "AnalysisContext",
+    "Checker",
+    "Finding",
+    "Module",
+    "all_checkers",
+    "analyze_paths",
+    "findings_from_json",
+    "iter_python_files",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]
+
+#: JSON schema version emitted by :func:`render_json`.
+JSON_FORMAT_VERSION = 1
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_*,\s]+?)\s*(?:#|$)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is, what it violates, how to fix it."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Finding":
+        names = {f.name for f in fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ValueError(f"unknown Finding fields: {sorted(unknown)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class AnalysisContext:
+    """Project-level inputs shared by every checker.
+
+    ``kernel_registry`` is the set of identifiers appearing in the kernel
+    parity suite (``tests/test_kernels.py``): RL004 requires every public
+    ``use_kernels`` entry point to appear there.  ``None`` means the
+    registry could not be located, and the registration requirement is
+    skipped (the scalar-twin check still runs).
+    """
+
+    root: Path
+    kernel_registry: frozenset[str] | None = None
+
+    #: project-relative files whose identifiers feed ``kernel_registry``
+    KERNEL_REGISTRY_FILES = ("tests/test_kernels.py",)
+
+    @classmethod
+    def from_root(cls, root: Path | str) -> "AnalysisContext":
+        root = Path(root).resolve()
+        names: set[str] = set()
+        found = False
+        for relative in cls.KERNEL_REGISTRY_FILES:
+            candidate = root / relative
+            if candidate.is_file():
+                found = True
+                names.update(_identifiers(candidate.read_text(encoding="utf-8")))
+        return cls(root=root, kernel_registry=frozenset(names) if found else None)
+
+
+def _identifiers(source: str) -> set[str]:
+    """Every identifier-shaped token in ``source`` (registry extraction)."""
+    return set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", source))
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file as the checkers see it."""
+
+    path: str  #: project-relative posix path (display + rule scoping)
+    source: str
+    tree: ast.Module
+    context: AnalysisContext
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.path.split("/"))
+
+    def in_directory(self, name: str) -> bool:
+        """True when any path component equals ``name`` (e.g. ``tests``)."""
+        return name in self.parts[:-1]
+
+    def path_endswith(self, suffix: str) -> bool:
+        """True when the relative path ends with the given ``/``-suffix."""
+        tail = tuple(suffix.split("/"))
+        return self.parts[-len(tail):] == tail
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule` (the stable ``RLxxx`` id) and
+    :attr:`description`, and implement :meth:`check`.  :meth:`applies`
+    scopes the rule to a subset of the tree (many invariants only bind in
+    ``src/``); the framework consults it before :meth:`check`.
+    """
+
+    rule: str = "RL000"
+    description: str = ""
+
+    def applies(self, module: Module) -> bool:
+        return True
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def finding(
+        self, module: Module, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            hint=hint,
+        )
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.rule or cls.rule == "RL000":
+        raise ValueError(f"{cls.__name__} must define a unique rule id")
+    existing = _REGISTRY.get(cls.rule)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate checker for rule {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    """The registry as ``{rule id: checker class}`` (import-order stable)."""
+    # the built-in rules live in a sibling module; importing it registers them
+    from . import rules  # noqa: F401  (side effect: registration)
+
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+@dataclass
+class _Suppressions:
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    def active(self, finding: Finding) -> bool:
+        for rules in (self.whole_file, self.by_line.get(finding.line, set())):
+            if "all" in rules or finding.rule in rules:
+                return True
+        return False
+
+
+def _parse_suppressions(source: str) -> _Suppressions:
+    """Extract ``repro-lint`` directives from real comment tokens.
+
+    Tokenizing (rather than regexing raw lines) means directives inside
+    string literals — lint fixtures, docs — are never misread as live
+    suppressions.
+    """
+    suppressions = _Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for line, comment in comments:
+        match = _DIRECTIVE.search(comment)
+        if not match:
+            continue
+        rules = {
+            name.strip().replace("*", "all")
+            for name in match.group("rules").split(",")
+            if name.strip()
+        }
+        if match.group("scope") == "disable-file":
+            suppressions.whole_file |= rules
+        else:
+            suppressions.by_line.setdefault(line, set()).update(rules)
+    return suppressions
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """All ``.py`` files under ``paths`` (files pass through, dirs recurse)."""
+    seen: set[Path] = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates: Iterable[Path] = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _selected_checkers(
+    select: Sequence[str] | None, disable: Sequence[str] | None
+) -> list[Checker]:
+    registry = all_checkers()
+    unknown = [r for r in list(select or []) + list(disable or []) if r not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown rule ids {unknown}; known: {sorted(registry)}"
+        )
+    chosen = list(select) if select else sorted(registry)
+    excluded = set(disable or ())
+    return [registry[rule]() for rule in chosen if rule not in excluded]
+
+
+def _check_module(module: Module, checkers: Sequence[Checker]) -> list[Finding]:
+    suppressions = _parse_suppressions(module.source)
+    findings = [
+        finding
+        for checker in checkers
+        if checker.applies(module)
+        for finding in checker.check(module)
+    ]
+    return sorted(f for f in findings if not suppressions.active(f))
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    context: AnalysisContext | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    context = context or AnalysisContext(root=Path("."))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                rule="RL000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    module = Module(path=path, source=source, tree=tree, context=context)
+    return _check_module(module, _selected_checkers(select, None))
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    select: Sequence[str] | None = None,
+    disable: Sequence[str] | None = None,
+    context: AnalysisContext | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; returns sorted findings."""
+    root = Path(root) if root is not None else Path.cwd()
+    context = context or AnalysisContext.from_root(root)
+    checkers = _selected_checkers(select, disable)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        relative = _relative(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError, UnicodeDecodeError) as error:
+            message = getattr(error, "msg", None) or str(error)
+            findings.append(
+                Finding(
+                    path=relative,
+                    line=getattr(error, "lineno", None) or 1,
+                    col=getattr(error, "offset", None) or 0,
+                    rule="RL000",
+                    message=f"unable to analyze file: {message}",
+                )
+            )
+            continue
+        module = Module(path=relative, source=source, tree=tree, context=context)
+        findings.extend(_check_module(module, checkers))
+    return sorted(findings)
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` row per finding, plus a tally."""
+    if not findings:
+        return "repro-lint: no findings"
+    lines = [finding.format() for finding in findings]
+    lines.append(f"repro-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report; inverse of :func:`findings_from_json`."""
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_from_json(text: str) -> list[Finding]:
+    """Parse a :func:`render_json` report back into :class:`Finding` records."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(f"unsupported report version: {version!r}")
+    return [Finding.from_dict(entry) for entry in payload["findings"]]

@@ -1,0 +1,553 @@
+"""The repro project's invariant checkers (rules RL001–RL005).
+
+Each rule encodes one convention the engine's correctness or
+reproducibility depends on; see ``docs/static-analysis.md`` for the full
+rationale and suppression guidance.
+
+================  ====================================================
+RL001             unseeded randomness outside ``tests/``
+RL002             raw clock access outside ``core/budget.py`` and
+                  ``benchmarks/``
+RL003             ``Node`` mutators that skip bounds-cache invalidation
+RL004             ``use_kernels`` entry points without a scalar twin or
+                  a registered parity test
+RL005             search loops in ``core/`` bypassing :class:`Budget`
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Checker, Finding, Module, register
+
+__all__ = [
+    "UnseededRandomness",
+    "ClockDiscipline",
+    "CacheInvalidation",
+    "KernelParity",
+    "BudgetDiscipline",
+]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Every function/method in the module with its owning class (if any)."""
+
+    def visit(node: ast.AST, owner: ast.ClassDef | None) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                yield from visit(child, owner)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            else:
+                yield from visit(child, owner)
+
+    return visit(tree, None)
+
+
+def _arg_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = func.args
+    return [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ] + [a.arg for a in (args.vararg, args.kwarg) if a is not None]
+
+
+def _body_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Every identifier referenced in the function body (not the signature)."""
+    names: set[str] = set()
+    for statement in func.body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def _in_tests(module: Module) -> bool:
+    return module.in_directory("tests") or module.parts[-1].startswith("test_")
+
+
+# ----------------------------------------------------------------------
+# RL001 — unseeded randomness
+# ----------------------------------------------------------------------
+@register
+class UnseededRandomness(Checker):
+    """All randomness must come from explicitly seeded generators.
+
+    Parallel restarts are only worker-count deterministic because every
+    member derives its RNG from ``derive_seed(base, index)``; one call into
+    the process-global ``random`` module (or an unseeded ``default_rng()``)
+    silently breaks that reproducibility.
+    """
+
+    rule = "RL001"
+    description = "randomness must flow through explicitly seeded generators"
+
+    #: functions of the ``random`` module that consume the global RNG state
+    GLOBAL_RANDOM_FUNCTIONS = frozenset(
+        {
+            "random", "randint", "randrange", "randbytes", "getrandbits",
+            "shuffle", "choice", "choices", "sample", "seed",
+            "uniform", "triangular", "gauss", "normalvariate", "lognormvariate",
+            "expovariate", "betavariate", "gammavariate", "paretovariate",
+            "vonmisesvariate", "weibullvariate", "binomialvariate",
+        }
+    )
+
+    def applies(self, module: Module) -> bool:
+        return not _in_tests(module)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            unseeded = not node.args and not node.keywords
+            if dotted == "random.Random" and unseeded:
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() constructed without a seed",
+                    hint="pass an explicit seed (or an already-seeded Random)",
+                )
+            elif dotted.startswith("random.") and (
+                dotted.split(".", 1)[1] in self.GLOBAL_RANDOM_FUNCTIONS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() draws from the process-global RNG",
+                    hint="thread a seeded random.Random through the call chain",
+                )
+            elif dotted in ("np.random.default_rng", "numpy.random.default_rng"):
+                if unseeded:
+                    yield self.finding(
+                        module,
+                        node,
+                        "default_rng() created without an explicit seed",
+                        hint="pass a seed: np.random.default_rng(seed)",
+                    )
+            elif dotted.startswith(("np.random.", "numpy.random.")):
+                attr = dotted.rsplit(".", 1)[1]
+                if attr in ("Generator", "SeedSequence", "PCG64", "Philox"):
+                    continue
+                if attr == "RandomState" and not unseeded:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() uses NumPy's global (or unseeded) RNG",
+                    hint="use np.random.default_rng(seed) and pass the generator",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL002 — clock discipline
+# ----------------------------------------------------------------------
+@register
+class ClockDiscipline(Checker):
+    """Wall-clock reads are confined to ``core/budget.py`` and benchmarks.
+
+    Budgets carry an injectable ``clock`` so tests can simulate time; a raw
+    ``time.perf_counter()`` elsewhere cannot be faked and re-introduces
+    timing-dependent behaviour.  Measure durations with
+    :class:`repro.core.budget.Stopwatch` instead.
+    """
+
+    rule = "RL002"
+    description = "raw clock access outside core/budget.py and benchmarks/"
+
+    CLOCK_ATTRIBUTES = frozenset({"time", "monotonic", "perf_counter", "process_time"})
+    ALLOWED_SUFFIXES = ("repro/core/budget.py", "core/budget.py")
+    ALLOWED_DIRECTORIES = ("benchmarks",)
+
+    def applies(self, module: Module) -> bool:
+        if any(module.path_endswith(suffix) for suffix in self.ALLOWED_SUFFIXES):
+            return False
+        return not any(
+            module.in_directory(name) or module.parts[0] == name
+            for name in self.ALLOWED_DIRECTORIES
+        )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        hint = "route timing through repro.core.budget (Budget or Stopwatch)"
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if (
+                    dotted is not None
+                    and dotted.startswith("time.")
+                    and dotted.split(".", 1)[1] in self.CLOCK_ATTRIBUTES
+                ):
+                    yield self.finding(
+                        module, node, f"raw clock access: {dotted}", hint=hint
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                clocks = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in self.CLOCK_ATTRIBUTES
+                ]
+                if clocks:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"imports clock function(s) {', '.join(clocks)} from time",
+                        hint=hint,
+                    )
+
+
+# ----------------------------------------------------------------------
+# RL003 — Node bounds-cache invalidation
+# ----------------------------------------------------------------------
+#: ``(guard id, arm)`` chain locating a statement inside conditional blocks
+_GuardPath = tuple[tuple[int, str], ...]
+
+
+@register
+class CacheInvalidation(Checker):
+    """Every ``Node`` mutator must invalidate the packed-bounds cache.
+
+    ``Node.bounds_array()`` memoises a ``(len, 4)`` float64 copy of the
+    entry bounds; a mutator that forgets ``invalidate_bounds_cache()``
+    leaves kernels scoring stale geometry — the exact heisenbug class this
+    linter exists for.  A mutation is *covered* when an invalidation exists
+    on a dominating path (same branch or an unconditional statement).
+    """
+
+    rule = "RL003"
+    description = "Node mutators must invalidate the cached bounds array"
+
+    TRACKED_ATTRIBUTES = frozenset({"bounds", "entries", "children"})
+    MUTATING_METHODS = frozenset(
+        {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
+    )
+    CACHE_ATTRIBUTE = "_bounds_array"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "Node":
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            mutations: list[tuple[ast.AST, _GuardPath, str]] = []
+            invalidations: list[_GuardPath] = []
+            for statement, path in self._guarded_statements(method.body, ()):
+                for expression in self._own_expressions(statement):
+                    for sub in ast.walk(expression):
+                        described = self._describe_mutation(sub)
+                        if described is not None:
+                            mutations.append((sub, path, described))
+                        elif self._is_invalidation(sub):
+                            invalidations.append(path)
+            for node, path, described in mutations:
+                if not any(
+                    path[: len(cover)] == cover for cover in invalidations
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"Node.{method.name} {described} without invalidating "
+                        "the cached bounds array on this path",
+                        hint="call self.invalidate_bounds_cache() "
+                        "(or assign self._bounds_array = None)",
+                    )
+
+    # -- structural walk ------------------------------------------------
+    def _guarded_statements(
+        self, statements: list[ast.stmt], path: _GuardPath
+    ) -> Iterator[tuple[ast.stmt, _GuardPath]]:
+        """Statements with the chain of conditional blocks guarding them."""
+        for statement in statements:
+            yield statement, path
+            if isinstance(statement, ast.If):
+                yield from self._guarded_statements(
+                    statement.body, path + ((id(statement), "body"),)
+                )
+                yield from self._guarded_statements(
+                    statement.orelse, path + ((id(statement), "orelse"),)
+                )
+            elif isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+                # loop bodies may run zero times: treat them as conditional
+                yield from self._guarded_statements(
+                    statement.body, path + ((id(statement), "body"),)
+                )
+                yield from self._guarded_statements(
+                    statement.orelse, path + ((id(statement), "orelse"),)
+                )
+            elif isinstance(statement, ast.Try):
+                yield from self._guarded_statements(
+                    statement.body, path + ((id(statement), "body"),)
+                )
+                for handler in statement.handlers:
+                    yield from self._guarded_statements(
+                        handler.body, path + ((id(handler), "body"),)
+                    )
+                yield from self._guarded_statements(
+                    statement.orelse, path + ((id(statement), "orelse"),)
+                )
+                # a finally block always runs: same guard path as the try
+                yield from self._guarded_statements(statement.finalbody, path)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                yield from self._guarded_statements(statement.body, path)
+
+    def _own_expressions(self, statement: ast.stmt) -> Iterator[ast.AST]:
+        """The expressions evaluated *by* ``statement`` itself.
+
+        For compound statements only the guard expressions belong to the
+        statement; nested blocks are visited separately (with their own
+        guard path) by :meth:`_guarded_statements`.
+        """
+        if isinstance(statement, ast.If):
+            yield statement.test
+        elif isinstance(statement, ast.While):
+            yield statement.test
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            yield statement.target
+            yield statement.iter
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                yield item.context_expr
+        elif isinstance(statement, ast.Try):
+            return
+        else:
+            yield statement
+
+    # -- event classification -------------------------------------------
+    def _self_attribute(self, node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _describe_mutation(self, node: ast.AST) -> str | None:
+        """A human phrase when ``node`` mutates a tracked attribute."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            owner = self._self_attribute(node.func.value)
+            if owner in self.TRACKED_ATTRIBUTES and (
+                node.func.attr in self.MUTATING_METHODS
+            ):
+                return f"calls self.{owner}.{node.func.attr}()"
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    owner = self._self_attribute(target.value)
+                    if owner in self.TRACKED_ATTRIBUTES:
+                        return f"writes self.{owner}[...]"
+                attribute = self._self_attribute(target)
+                if attribute in self.TRACKED_ATTRIBUTES:
+                    return f"rebinds self.{attribute}"
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    owner = self._self_attribute(target.value)
+                    if owner in self.TRACKED_ATTRIBUTES:
+                        return f"deletes from self.{owner}"
+        return None
+
+    def _is_invalidation(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Assign):
+            if any(
+                self._self_attribute(target) == self.CACHE_ATTRIBUTE
+                for target in node.targets
+            ):
+                return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                self._self_attribute(node.func) is not None
+                and "invalidate" in node.func.attr
+            ):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL004 — kernel parity
+# ----------------------------------------------------------------------
+@register
+class KernelParity(Checker):
+    """Every ``use_kernels`` entry point keeps a reachable scalar twin and
+    a registered parity test.
+
+    The vectorized/scalar contract is bit-for-bit agreement; a flag that is
+    accepted but ignored silently drops the scalar escape hatch, and an
+    entry point missing from ``tests/test_kernels.py`` has no oracle
+    guarding that agreement.
+    """
+
+    rule = "RL004"
+    description = "use_kernels entry points need a scalar twin and a parity test"
+
+    PARAMETER = "use_kernels"
+    REGISTRY_FILE = "tests/test_kernels.py"
+
+    def applies(self, module: Module) -> bool:
+        return not _in_tests(module)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        registry = module.context.kernel_registry
+        for func, owner in _functions(module.tree):
+            if self.PARAMETER not in _arg_names(func):
+                continue
+            if self.PARAMETER not in _body_names(func):
+                yield self.finding(
+                    module,
+                    func,
+                    f"{func.name} accepts use_kernels but never consults it; "
+                    "the scalar twin is unreachable",
+                    hint="branch on use_kernels or forward it to the "
+                    "implementation that does",
+                )
+            registered_as = owner.name if owner is not None else func.name
+            if registered_as.startswith("_"):
+                continue  # private helpers are covered via their public caller
+            if registry is not None and registered_as not in registry:
+                yield self.finding(
+                    module,
+                    func,
+                    f"no parity test in {self.REGISTRY_FILE} references "
+                    f"{registered_as!r}",
+                    hint=f"add a kernels-vs-scalar parity test exercising "
+                    f"{registered_as} to {self.REGISTRY_FILE}",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL005 — budget discipline
+# ----------------------------------------------------------------------
+@register
+class BudgetDiscipline(Checker):
+    """Search loops in ``core/`` must consume a :class:`Budget`.
+
+    The paper's algorithms are *anytime*: every loop that can run long is
+    bounded by the shared budget so results are comparable across machines
+    and reproducible under iteration limits.  Raw counters (``while i <
+    max_iterations``) or unguarded ``while True`` loops escape that
+    contract.
+    """
+
+    rule = "RL005"
+    description = "core/ search loops must consume a Budget, not raw counters"
+
+    PARAMETER = "budget"
+    COUNTER_NAMES = frozenset(
+        {
+            "max_iterations", "max_iters", "max_iter", "num_iterations",
+            "n_iterations", "iterations", "max_steps", "num_steps", "max_rounds",
+        }
+    )
+    EXCLUDED_SUFFIXES = ("core/budget.py",)
+
+    def applies(self, module: Module) -> bool:
+        if _in_tests(module):
+            return False
+        if any(module.path_endswith(suffix) for suffix in self.EXCLUDED_SUFFIXES):
+            return False
+        return module.in_directory("core")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for func, _owner in _functions(module.tree):
+            takes_budget = self.PARAMETER in _arg_names(func)
+            if takes_budget and self.PARAMETER not in _body_names(func):
+                yield self.finding(
+                    module,
+                    func,
+                    f"{func.name} accepts a budget but never consumes it",
+                    hint="gate the search loop on budget.exhausted() and "
+                    "record work with budget.tick()",
+                )
+            for statement in func.body:
+                yield from self._check_loops(module, func, statement, takes_budget)
+
+    def _check_loops(
+        self,
+        module: Module,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        statement: ast.stmt,
+        takes_budget: bool,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs get their own visit
+            if isinstance(node, ast.While) and self._is_while_true(node):
+                if not self._mentions_budget(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unbounded 'while True' loop in {func.name} ignores "
+                        "the processing budget",
+                        hint="test budget.exhausted() in the loop (and tick "
+                        "per iteration)",
+                    )
+            elif takes_budget and isinstance(node, ast.For):
+                counter = self._counter_range(node.iter)
+                if counter is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{func.name} iterates 'for … in range({counter})' "
+                        "instead of consuming its budget",
+                        hint="drive the loop with budget.exhausted()/tick() "
+                        "so time and iteration limits both apply",
+                    )
+
+    def _is_while_true(self, node: ast.While) -> bool:
+        return isinstance(node.test, ast.Constant) and node.test.value is True
+
+    def _mentions_budget(self, node: ast.While) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "budget" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr in ("exhausted", "tick"):
+                return True
+        return False
+
+    def _counter_range(self, iterator: ast.expr) -> str | None:
+        if not (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+            and len(iterator.args) == 1
+        ):
+            return None
+        argument = iterator.args[0]
+        name = None
+        if isinstance(argument, ast.Name):
+            name = argument.id
+        elif isinstance(argument, ast.Attribute):
+            name = argument.attr
+        if name is not None and name in self.COUNTER_NAMES:
+            return name
+        return None

@@ -6,7 +6,7 @@ and the two-step combinations, all operating on R*-tree-indexed datasets.
 
 from .annealing import SAConfig, indexed_simulated_annealing
 from .best_value import BestValue, brute_force_best_value, find_best_value
-from .budget import Budget
+from .budget import Budget, Stopwatch
 from .evaluator import QueryEvaluator
 from .gils import DEFAULT_LAMBDA_FACTOR, GILSConfig, guided_indexed_local_search
 from .ibb import IBBConfig, connectivity_order, indexed_branch_and_bound
@@ -22,6 +22,7 @@ from .two_step import HEURISTICS, TwoStepResult, two_step
 
 __all__ = [
     "Budget",
+    "Stopwatch",
     "QueryEvaluator",
     "SolutionState",
     "BestValue",

@@ -18,7 +18,31 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-__all__ = ["Budget"]
+__all__ = ["Budget", "Stopwatch"]
+
+
+class Stopwatch:
+    """A started timer: the sanctioned way to measure a duration.
+
+    Raw clock reads are confined to this module (lint rule RL002) so that
+    every time source in the engine stays injectable — pass a fake
+    ``clock`` in tests and the measurement is simulated like a
+    :class:`Budget`'s.  The watch starts at construction; call
+    :meth:`elapsed` as often as needed.
+    """
+
+    __slots__ = ("_clock", "_started_at")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._started_at = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return self._clock() - self._started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stopwatch(elapsed={self.elapsed():.6f})"
 
 
 class Budget:
@@ -41,7 +65,7 @@ class Budget:
         time_limit: float | None = None,
         max_iterations: int | None = None,
         clock: Callable[[], float] = time.perf_counter,
-    ):
+    ) -> None:
         if time_limit is None and max_iterations is None:
             raise ValueError("budget must limit at least one of time or iterations")
         if time_limit is not None and time_limit <= 0:

@@ -28,12 +28,11 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..query import ProblemInstance
-from .budget import Budget
+from .budget import Budget, Stopwatch
 from .evaluator import QueryEvaluator
 from .result import ConvergenceTrace, RunResult
 
@@ -160,9 +159,9 @@ def parallel_restarts(
         )
         for index in range(restarts)
     ]
-    started = time.perf_counter()
+    watch = Stopwatch()
     results = run_specs(instance, specs, workers, evaluator, use_kernels)
-    elapsed = time.perf_counter() - started
+    elapsed = watch.elapsed()
 
     best = min(enumerate(results), key=lambda pair: (pair[1].best_violations, pair[0]))
     winner_index, winner = best
@@ -184,7 +183,7 @@ def parallel_restarts(
     )
 
 
-def member_stats(result: RunResult) -> dict:
+def member_stats(result: RunResult) -> dict[str, object]:
     """Structured per-member digest kept under ``stats["members"]``."""
     return {
         "algorithm": result.algorithm,

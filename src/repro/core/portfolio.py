@@ -19,11 +19,10 @@ sequential schedule's.
 from __future__ import annotations
 
 import random
-import time
 from typing import Sequence
 
 from ..query import ProblemInstance
-from .budget import Budget
+from .budget import Budget, Stopwatch
 from .evaluator import QueryEvaluator
 from .parallel import (
     RunSpec,
@@ -160,9 +159,9 @@ def _portfolio_parallel(
                 index=index,
             )
         )
-    started = time.perf_counter()
+    watch = Stopwatch()
     results = run_specs(instance, specs, workers)
-    elapsed = time.perf_counter() - started
+    elapsed = watch.elapsed()
     best_index, best = min(
         enumerate(results), key=lambda pair: (pair[1].best_violations, pair[0])
     )

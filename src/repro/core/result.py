@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 __all__ = ["TracePoint", "ConvergenceTrace", "RunResult"]
 
@@ -76,7 +76,7 @@ class RunResult:
     milestones: int = 0
     trace: ConvergenceTrace = field(default_factory=ConvergenceTrace)
     #: free-form counters (index node reads, restarts, penalties issued, ...)
-    stats: dict = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def is_exact(self) -> bool:

@@ -32,7 +32,12 @@ class SolutionState:
 
     __slots__ = ("evaluator", "values", "sat", "satisfied_edges")
 
-    def __init__(self, evaluator: "QueryEvaluator", values: list[int]):
+    evaluator: "QueryEvaluator"
+    values: list[int]
+    sat: list[int]
+    satisfied_edges: int
+
+    def __init__(self, evaluator: "QueryEvaluator", values: list[int]) -> None:
         if len(values) != evaluator.num_variables:
             raise ValueError(
                 f"expected {evaluator.num_variables} values, got {len(values)}"

@@ -30,7 +30,7 @@ this, including touching-edge and degenerate (zero-area) rectangles.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class RectColumns:
 
     def __init__(
         self, xmin: np.ndarray, ymin: np.ndarray, xmax: np.ndarray, ymax: np.ndarray
-    ):
+    ) -> None:
         columns = [np.ascontiguousarray(c, dtype=np.float64) for c in (xmin, ymin, xmax, ymax)]
         lengths = {len(c) for c in columns}
         if len(lengths) != 1:
@@ -139,35 +139,35 @@ class RectColumns:
 # ----------------------------------------------------------------------
 # predicate kernels
 # ----------------------------------------------------------------------
-def _intersects(a: Columns, b: Columns):
+def _intersects(a: Columns, b: Columns) -> np.ndarray:
     axmin, aymin, axmax, aymax = a
     bxmin, bymin, bxmax, bymax = b
     return (axmin <= bxmax) & (bxmin <= axmax) & (aymin <= bymax) & (bymin <= aymax)
 
 
-def _inside(a: Columns, b: Columns):
+def _inside(a: Columns, b: Columns) -> np.ndarray:
     axmin, aymin, axmax, aymax = a
     bxmin, bymin, bxmax, bymax = b
     return (bxmin <= axmin) & (bymin <= aymin) & (axmax <= bxmax) & (aymax <= bymax)
 
 
-def _contains(a: Columns, b: Columns):
+def _contains(a: Columns, b: Columns) -> np.ndarray:
     return _inside(b, a)
 
 
-def _northeast(a: Columns, b: Columns):
+def _northeast(a: Columns, b: Columns) -> np.ndarray:
     axmin, aymin, _axmax, _aymax = a
     _bxmin, _bymin, bxmax, bymax = b
     return (axmin >= bxmax) & (aymin >= bymax)
 
 
-def _southwest(a: Columns, b: Columns):
+def _southwest(a: Columns, b: Columns) -> np.ndarray:
     _axmin, _aymin, axmax, aymax = a
     bxmin, bymin, _bxmax, _bymax = b
     return (axmax <= bxmin) & (aymax <= bymin)
 
 
-def _within_distance(a: Columns, b: Columns, distance: float):
+def _within_distance(a: Columns, b: Columns, distance: float) -> np.ndarray:
     axmin, aymin, axmax, aymax = a
     bxmin, bymin, bxmax, bymax = b
     dx = np.maximum(np.maximum(bxmin - axmax, axmin - bxmax), 0.0)
@@ -175,7 +175,9 @@ def _within_distance(a: Columns, b: Columns, distance: float):
     return np.hypot(dx, dy) <= distance
 
 
-def test_pairs(predicate: SpatialPredicate, a: Columns, b: Columns):
+def test_pairs(
+    predicate: SpatialPredicate, a: Columns, b: Columns
+) -> np.ndarray | None:
     """Batched :meth:`SpatialPredicate.test` — ``predicate.test(a_row, b_row)``.
 
     Operands broadcast like NumPy arrays, so ``b`` may be a single window
@@ -199,7 +201,9 @@ def test_pairs(predicate: SpatialPredicate, a: Columns, b: Columns):
     return None
 
 
-def filter_pairs(predicate: SpatialPredicate, a: Columns, b: Columns):
+def filter_pairs(
+    predicate: SpatialPredicate, a: Columns, b: Columns
+) -> np.ndarray | None:
     """Batched :meth:`SpatialPredicate.node_may_satisfy` over node MBR rows.
 
     ``a`` holds node MBRs, ``b`` the window(s).  Must never be ``False`` for
@@ -337,7 +341,7 @@ def count_may_satisfy(
 def make_count_scorer(
     constraints: Sequence[tuple[SpatialPredicate, Rect]],
     method: str = "test",
-):
+) -> Callable[[RectColumns | Columns | np.ndarray], np.ndarray]:
     """Pre-compiled counting kernel for a fixed constraint list.
 
     :func:`count_satisfied` re-packs the constraint windows on every call —

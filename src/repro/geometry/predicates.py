@@ -162,7 +162,7 @@ class WithinDistance(SpatialPredicate):
 
     name = "within_distance"
 
-    def __init__(self, distance: float):
+    def __init__(self, distance: float) -> None:
         if distance < 0:
             raise ValueError(f"negative distance: {distance}")
         self.distance = float(distance)

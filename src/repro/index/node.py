@@ -35,7 +35,7 @@ class Node:
 
     __slots__ = ("level", "bounds", "children", "parent", "mbr", "_bounds_array")
 
-    def __init__(self, level: int):
+    def __init__(self, level: int) -> None:
         self.level = level
         self.bounds: list[Rect] = []
         self.children: list[Any] = []
@@ -75,11 +75,20 @@ class Node:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def invalidate_bounds_cache(self) -> None:
+        """Drop the packed bounds array; every mutator must call this.
+
+        Lint rule RL003 statically verifies that any method of this class
+        touching ``bounds``/``children`` reaches an invalidation on every
+        path, so a new mutator cannot silently leave a stale array behind.
+        """
+        self._bounds_array = None
+
     def add(self, rect: Rect, child: Any) -> None:
         """Append one entry and extend the cached MBR accordingly."""
         self.bounds.append(rect)
         self.children.append(child)
-        self._bounds_array = None
+        self.invalidate_bounds_cache()
         if isinstance(child, Node):
             child.parent = self
         self.mbr = rect if self.mbr is None else self.mbr.union(rect)
@@ -88,7 +97,7 @@ class Node:
         """Remove and return the entry at ``position``; recomputes the MBR."""
         rect = self.bounds.pop(position)
         child = self.children.pop(position)
-        self._bounds_array = None
+        self.invalidate_bounds_cache()
         if isinstance(child, Node):
             child.parent = None
         self.recompute_mbr()
@@ -100,7 +109,7 @@ class Node:
             raise ValueError("bounds/children length mismatch")
         self.bounds = bounds
         self.children = children
-        self._bounds_array = None
+        self.invalidate_bounds_cache()
         for child in children:
             if isinstance(child, Node):
                 child.parent = self
@@ -112,7 +121,7 @@ class Node:
     def set_bound(self, position: int, rect: Rect) -> None:
         """Overwrite one bound (growth propagation); recomputes the MBR."""
         self.bounds[position] = rect
-        self._bounds_array = None
+        self.invalidate_bounds_cache()
         self.recompute_mbr()
 
     def update_child_bound(self, child: "Node") -> None:

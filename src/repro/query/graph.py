@@ -25,7 +25,7 @@ __all__ = ["QueryGraph"]
 class QueryGraph:
     """An undirected, predicate-labelled query graph on ``n`` variables."""
 
-    def __init__(self, num_variables: int):
+    def __init__(self, num_variables: int) -> None:
         if num_variables < 2:
             raise ValueError(
                 f"a join needs at least 2 variables, got {num_variables}"

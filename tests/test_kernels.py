@@ -40,8 +40,11 @@ from repro.geometry.kernels import (
     window_columns,
 )
 from repro.geometry.kernels import test_pairs as kernel_test_pairs
+from repro.core.budget import Budget
+from repro.core.parallel import RunSpec, derive_seed, parallel_restarts, run_specs
 from repro.index import RStarTree
-from repro.joins.brute import brute_force_best, brute_force_join
+from repro.joins.brute import brute_force_best, brute_force_join, count_exact_solutions
+from repro.joins.pairwise import rtree_join
 
 ALL_PREDICATES = [
     INTERSECTS,
@@ -342,6 +345,60 @@ def test_brute_force_best_kernels_match_scalar(tiny_clique_instance):
     assert brute_force_best(tiny_clique_instance) == brute_force_best(
         tiny_clique_instance, use_kernels=False
     )
+
+
+def test_count_exact_solutions_kernels_match_scalar(tiny_chain_instance):
+    vector = count_exact_solutions(tiny_chain_instance)
+    scalar = count_exact_solutions(tiny_chain_instance, use_kernels=False)
+    assert vector == scalar
+
+
+def test_rtree_join_kernels_match_scalar():
+    rng = random.Random(21)
+    tree_a, rects_a = _random_tree(rng, 90)
+    tree_b, rects_b = _random_tree(rng, 70)
+    vector = sorted(rtree_join(tree_a, tree_b))
+    scalar = sorted(rtree_join(tree_a, tree_b, use_kernels=False))
+    assert vector == scalar
+    oracle = sorted(
+        (i, j)
+        for i, ra in enumerate(rects_a)
+        for j, rb in enumerate(rects_b)
+        if ra.intersects(rb)
+    )
+    assert vector == oracle
+
+
+def test_run_specs_kernel_parity(tiny_chain_instance):
+    specs = [
+        RunSpec(
+            heuristic="ils",
+            seed=derive_seed(7, index),
+            time_limit=None,
+            max_iterations=40,
+            index=index,
+        )
+        for index in range(2)
+    ]
+    vector = run_specs(tiny_chain_instance, specs, workers=1)
+    scalar = run_specs(tiny_chain_instance, specs, workers=1, use_kernels=False)
+    for a, b in zip(vector, scalar):
+        assert a.best_assignment == b.best_assignment
+        assert a.best_violations == b.best_violations
+
+
+def test_parallel_restarts_kernel_parity(tiny_chain_instance):
+    budget = Budget.iterations(40)
+    vector = parallel_restarts(
+        tiny_chain_instance, budget.spawn(), seed=3, heuristic="ils",
+        restarts=2, workers=1,
+    )
+    scalar = parallel_restarts(
+        tiny_chain_instance, budget.spawn(), seed=3, heuristic="ils",
+        restarts=2, workers=1, use_kernels=False,
+    )
+    assert vector.best_assignment == scalar.best_assignment
+    assert vector.best_violations == scalar.best_violations
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,402 @@
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL005).
+
+Each rule gets one known-good and one known-bad snippet; the suite also
+covers suppressions, the JSON report round-trip, the CLI exit contract,
+and — the acceptance check — that the real tree is clean *and* that
+deliberately breaking a ``Node`` invariant is caught.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    Finding,
+    all_checkers,
+    analyze_paths,
+    findings_from_json,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CORE_PATH = "src/repro/core/search.py"  # in scope for every rule
+
+
+def rules_of(findings: list[Finding]) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
+    return lint_source(source, path=path, **kwargs)
+
+
+def test_all_five_rules_registered():
+    assert set(all_checkers()) >= {"RL001", "RL002", "RL003", "RL004", "RL005"}
+
+
+# ----------------------------------------------------------------------
+# RL001 — unseeded randomness
+# ----------------------------------------------------------------------
+RL001_GOOD = """
+import random
+
+def jiggle(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+"""
+
+RL001_BAD = """
+import random
+import numpy as np
+
+def jiggle() -> float:
+    np.random.default_rng()         # unseeded generator
+    np.random.shuffle([1, 2, 3])    # numpy global RNG
+    random.Random()                 # unseeded Random
+    return random.random()          # stdlib global RNG
+"""
+
+
+def test_rl001_good():
+    assert not lint(RL001_GOOD, select=["RL001"])
+
+
+def test_rl001_bad():
+    findings = lint(RL001_BAD, select=["RL001"])
+    assert len(findings) == 4
+    assert rules_of(findings) == {"RL001"}
+
+
+def test_rl001_ignores_tests():
+    assert not lint(RL001_BAD, path="tests/test_x.py", select=["RL001"])
+
+
+# ----------------------------------------------------------------------
+# RL002 — clock discipline
+# ----------------------------------------------------------------------
+RL002_GOOD = """
+from repro.core.budget import Stopwatch
+
+def run() -> float:
+    watch = Stopwatch()
+    return watch.elapsed()
+"""
+
+RL002_BAD = """
+import time
+from time import perf_counter
+
+def run() -> float:
+    started = time.perf_counter()
+    time.monotonic()
+    return time.time() - started
+"""
+
+
+def test_rl002_good():
+    assert not lint(RL002_GOOD, select=["RL002"])
+
+
+def test_rl002_bad():
+    findings = lint(RL002_BAD, select=["RL002"])
+    # the from-import plus three attribute accesses
+    assert len(findings) == 4
+    assert all(f.rule == "RL002" for f in findings)
+
+
+@pytest.mark.parametrize(
+    "path", ["src/repro/core/budget.py", "benchmarks/bench_x.py"]
+)
+def test_rl002_sanctioned_locations(path):
+    assert not lint(RL002_BAD, path=path, select=["RL002"])
+
+
+# ----------------------------------------------------------------------
+# RL003 — Node cache invalidation
+# ----------------------------------------------------------------------
+RL003_GOOD = """
+class Node:
+    def add(self, rect, child):
+        self.bounds.append(rect)
+        self.children.append(child)
+        self.invalidate_bounds_cache()
+
+    def invalidate_bounds_cache(self):
+        self._bounds_array = None
+"""
+
+RL003_BAD = """
+class Node:
+    def add(self, rect, child):
+        self.bounds.append(rect)
+        self.children.append(child)
+"""
+
+RL003_BRANCH_ONLY = """
+class Node:
+    def add(self, rect, child):
+        self.bounds.append(rect)
+        if child is not None:
+            self._bounds_array = None
+"""
+
+
+def test_rl003_good():
+    assert not lint(RL003_GOOD, select=["RL003"])
+
+
+def test_rl003_bad():
+    findings = lint(RL003_BAD, select=["RL003"])
+    assert len(findings) == 2  # one per mutated attribute
+    assert all(f.rule == "RL003" for f in findings)
+    assert "Node.add" in findings[0].message
+
+
+def test_rl003_branch_only_invalidation_is_not_enough():
+    findings = lint(RL003_BRANCH_ONLY, select=["RL003"])
+    assert len(findings) == 1
+    assert "on this path" in findings[0].message
+
+
+def test_rl003_direct_cache_assignment_counts():
+    source = RL003_GOOD.replace(
+        "self.invalidate_bounds_cache()", "self._bounds_array = None"
+    )
+    assert not lint(source, select=["RL003"])
+
+
+# ----------------------------------------------------------------------
+# RL004 — kernel parity
+# ----------------------------------------------------------------------
+RL004_GOOD = """
+def count(rows, use_kernels: bool = True):
+    if use_kernels:
+        return _vector_count(rows)
+    return _scalar_count(rows)
+"""
+
+RL004_UNUSED_FLAG = """
+def count(rows, use_kernels: bool = True):
+    return _vector_count(rows)
+"""
+
+
+def context_with_registry(*names: str) -> AnalysisContext:
+    return AnalysisContext(root=REPO_ROOT, kernel_registry=frozenset(names))
+
+
+def test_rl004_good():
+    findings = lint(
+        RL004_GOOD, select=["RL004"], context=context_with_registry("count")
+    )
+    assert not findings
+
+
+def test_rl004_unused_flag():
+    findings = lint(
+        RL004_UNUSED_FLAG, select=["RL004"], context=context_with_registry("count")
+    )
+    assert len(findings) == 1
+    assert "never consults" in findings[0].message
+
+
+def test_rl004_missing_parity_test():
+    findings = lint(
+        RL004_GOOD, select=["RL004"], context=context_with_registry("other")
+    )
+    assert len(findings) == 1
+    assert "no parity test" in findings[0].message
+
+
+def test_rl004_private_helpers_skip_registry():
+    source = RL004_GOOD.replace("def count", "def _count")
+    findings = lint(source, select=["RL004"], context=context_with_registry())
+    assert not findings
+
+
+# ----------------------------------------------------------------------
+# RL005 — budget discipline
+# ----------------------------------------------------------------------
+RL005_GOOD = """
+def search(instance, budget):
+    best = None
+    while not budget.exhausted():
+        budget.tick()
+        best = step(best)
+    return best
+"""
+
+RL005_UNUSED_BUDGET = """
+def search(instance, budget):
+    best = None
+    for _ in range(100):
+        best = step(best)
+    return best
+"""
+
+RL005_WHILE_TRUE = """
+def search(instance, budget):
+    budget.start()
+    while True:
+        step()
+"""
+
+RL005_RAW_COUNTER = """
+def search(instance, budget, max_iterations):
+    budget.start()
+    for _ in range(max_iterations):
+        step()
+"""
+
+
+def test_rl005_good():
+    assert not lint(RL005_GOOD, select=["RL005"])
+
+
+def test_rl005_unconsumed_budget():
+    findings = lint(RL005_UNUSED_BUDGET, select=["RL005"])
+    assert len(findings) == 1
+    assert "never consumes" in findings[0].message
+
+
+def test_rl005_unguarded_while_true():
+    findings = lint(RL005_WHILE_TRUE, select=["RL005"])
+    assert len(findings) == 1
+    assert "while True" in findings[0].message
+
+
+def test_rl005_raw_counter_loop():
+    findings = lint(RL005_RAW_COUNTER, select=["RL005"])
+    assert len(findings) == 1
+    assert "range(max_iterations)" in findings[0].message
+
+
+def test_rl005_only_applies_to_core():
+    assert not lint(RL005_WHILE_TRUE, path="src/repro/joins/x.py", select=["RL005"])
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_line_suppression():
+    source = RL002_BAD.replace(
+        "time.monotonic()",
+        "time.monotonic()  # repro-lint: disable=RL002",
+    )
+    findings = lint(source, select=["RL002"])
+    assert len(findings) == 3  # one of four muted
+
+
+def test_file_suppression():
+    source = "# repro-lint: disable-file=RL002\n" + RL002_BAD
+    assert not lint(source, select=["RL002"])
+
+
+def test_disable_all():
+    source = RL002_BAD.replace(
+        "time.monotonic()", "time.monotonic()  # repro-lint: disable=all"
+    )
+    assert len(lint(source, select=["RL002"])) == 3
+
+
+def test_directive_inside_string_is_inert():
+    source = 'FIXTURE = """\n# repro-lint: disable-file=RL002\n"""\n' + RL002_BAD
+    assert len(lint(source, select=["RL002"])) == 4
+
+
+# ----------------------------------------------------------------------
+# reporters, CLI and the real tree
+# ----------------------------------------------------------------------
+def test_json_report_round_trips():
+    findings = lint(RL002_BAD, select=["RL002"])
+    assert findings
+    assert findings_from_json(render_json(findings)) == findings
+    assert render_text(findings).count("RL002") == len(findings)
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint("def broken(:\n", select=["RL001"])
+    assert [f.rule for f in findings] == ["RL000"]
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError):
+        lint("x = 1", select=["RL999"])
+
+
+def test_repo_tree_is_clean():
+    """The acceptance gate: repro-lint src tests exits clean."""
+    findings = analyze_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
+    )
+    assert findings == [], render_text(findings)
+
+
+def test_breaking_node_invariant_is_caught():
+    """Removing one invalidation call from Node.add must trip RL003."""
+    node_source = (REPO_ROOT / "src/repro/index/node.py").read_text()
+    sabotaged = node_source.replace(
+        "        self.bounds.append(rect)\n"
+        "        self.children.append(child)\n"
+        "        self.invalidate_bounds_cache()\n",
+        "        self.bounds.append(rect)\n"
+        "        self.children.append(child)\n",
+    )
+    assert sabotaged != node_source, "Node.add no longer matches expected shape"
+    findings = lint_source(sabotaged, path="src/repro/index/node.py")
+    assert rules_of(findings) == {"RL003"}
+    assert len(findings) == 2
+
+
+def test_cli_text_and_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean), "--root", str(tmp_path)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+    dirty = tmp_path / "src" / "repro" / "core" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text("import time\nNOW = time.time()\n")
+    assert lint_main([str(dirty), "--root", str(tmp_path)]) == 1
+    assert "RL002" in capsys.readouterr().out
+
+
+def test_cli_json_round_trips(tmp_path, capsys):
+    dirty = tmp_path / "src" / "repro" / "core" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text("import time\nNOW = time.time()\n")
+    code = lint_main([str(dirty), "--root", str(tmp_path), "--format", "json"])
+    assert code == 1
+    payload = capsys.readouterr().out
+    findings = findings_from_json(payload)
+    assert [f.rule for f in findings] == ["RL002"]
+    assert json.loads(payload)["version"] == 1
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule in out
+
+
+def test_cli_select_and_disable(tmp_path, capsys):
+    dirty = tmp_path / "src" / "repro" / "core" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text("import time\nNOW = time.time()\n")
+    assert (
+        lint_main([str(dirty), "--root", str(tmp_path), "--disable", "RL002"]) == 0
+    )
+    capsys.readouterr()
+    assert (
+        lint_main([str(dirty), "--root", str(tmp_path), "--select", "RL001"]) == 0
+    )
+    capsys.readouterr()
