@@ -1,0 +1,128 @@
+"""Substrate bench A6 — observability overhead on the hot paths.
+
+The observability layer (:mod:`repro.obs`) promises a no-op fast path: when
+no observation is active, every ``current().span(...)`` / ``counter(...)``
+call must cost no more than a couple of attribute lookups, keeping the
+instrumented engine within 2 % of its pre-instrumentation speed.  This bench
+measures exactly that on the two instrumented hot spots:
+
+* ``find_best_value`` — the inner loop of every heuristic (a counter bump
+  and the tree-stats delta machinery per call);
+* a full GILS run — spans, counters and the emitting convergence trace.
+
+Each hot spot is timed with observation disabled (the shipped default) and
+enabled (``observe(Observation())`` with a :class:`MemorySink`), and the
+results land in ``BENCH_obs.json``.  The assertion is deliberately lenient
+(interpreter noise on a loaded CI box dwarfs the effect being measured);
+the JSON history is the real regression tripwire.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import Budget, QueryGraph, hard_instance
+from repro.bench import format_table, write_json
+from repro.core import GILSConfig, guided_indexed_local_search
+from repro.core.best_value import find_best_value
+from repro.core.evaluator import QueryEvaluator
+from repro.obs import MemorySink, Observation, observe
+
+_RESULTS: list[dict] = []
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
+
+
+def _time(callable_, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _record(section: str, disabled_s: float, enabled_s: float) -> None:
+    overhead = (enabled_s / disabled_s - 1.0) if disabled_s > 0 else 0.0
+    _RESULTS.append(
+        {
+            "section": section,
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            "overhead_pct": round(100.0 * overhead, 2),
+        }
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    yield
+    if not _RESULTS:
+        return
+    rows = [
+        [r["section"], r["disabled_s"], r["enabled_s"], r["overhead_pct"]]
+        for r in _RESULTS
+    ]
+    record_table(format_table(
+        "Bench A6 — observability overhead (best-of-5 seconds)",
+        ["benchmark", "obs off", "obs on", "overhead %"],
+        rows,
+        precision=5,
+    ))
+    write_json(_JSON_PATH, {"sections": _RESULTS})
+
+
+def test_best_value_overhead_when_disabled():
+    """Disabled-path cost of the ``find_best_value`` instrumentation."""
+    instance = hard_instance(
+        QueryGraph.clique(4), cardinality=scaled_int(2_000), seed=11
+    )
+    evaluator = QueryEvaluator(instance)
+    rng = random.Random(5)
+    state = evaluator.random_state(rng)
+    calls = scaled_int(400)
+
+    def run():
+        for _ in range(calls):
+            for variable in range(evaluator.num_variables):
+                find_best_value(
+                    evaluator.trees[variable],
+                    state.constraint_windows(variable),
+                    floor_score=-1.0,
+                )
+
+    disabled = _time(run)
+    with observe(Observation(sink=MemorySink())):
+        enabled = _time(run)
+    _record("find_best_value", disabled, enabled)
+    # generous bound: the target is <2%, but CI noise alone exceeds that
+    assert enabled < disabled * 1.5
+
+
+def test_gils_run_overhead_when_disabled():
+    """End-to-end GILS: spans + counters + emitting convergence trace."""
+    instance = hard_instance(
+        QueryGraph.clique(3), cardinality=scaled_int(1_000), seed=3
+    )
+    evaluator = QueryEvaluator(instance)
+    iterations = scaled_int(2_000)
+
+    def run():
+        guided_indexed_local_search(
+            instance,
+            Budget.iterations(iterations),
+            seed=7,
+            config=GILSConfig(),
+            evaluator=evaluator,
+        )
+
+    disabled = _time(run)
+    with observe(Observation(sink=MemorySink())):
+        enabled = _time(run)
+    _record("gils_run", disabled, enabled)
+    assert enabled < disabled * 1.5

@@ -33,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="AST-based invariant checkers for the repro engine "
-        "(rules RL001-RL005; see docs/static-analysis.md)",
+        "(rules RL001-RL006; see docs/static-analysis.md)",
     )
     parser.add_argument(
         "paths",

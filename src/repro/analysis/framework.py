@@ -96,16 +96,23 @@ class AnalysisContext:
 
     ``kernel_registry`` is the set of identifiers appearing in the kernel
     parity suite (``tests/test_kernels.py``): RL004 requires every public
-    ``use_kernels`` entry point to appear there.  ``None`` means the
-    registry could not be located, and the registration requirement is
-    skipped (the scalar-twin check still runs).
+    ``use_kernels`` entry point to appear there.  ``obs_names`` is the set
+    of dotted span/metric names declared in ``src/repro/obs/names.py``:
+    RL006 requires every ``span(...)``/``counter(...)`` call site to use
+    one of them.  ``None`` for either registry means the source file could
+    not be located, and the corresponding registration requirement is
+    skipped (the structural half of each rule still runs).
     """
 
     root: Path
     kernel_registry: frozenset[str] | None = None
+    obs_names: frozenset[str] | None = None
 
     #: project-relative files whose identifiers feed ``kernel_registry``
     KERNEL_REGISTRY_FILES = ("tests/test_kernels.py",)
+
+    #: project-relative files whose string literals feed ``obs_names``
+    OBS_NAMES_FILES = ("src/repro/obs/names.py",)
 
     @classmethod
     def from_root(cls, root: Path | str) -> "AnalysisContext":
@@ -117,12 +124,43 @@ class AnalysisContext:
             if candidate.is_file():
                 found = True
                 names.update(_identifiers(candidate.read_text(encoding="utf-8")))
-        return cls(root=root, kernel_registry=frozenset(names) if found else None)
+        obs_names: set[str] = set()
+        obs_found = False
+        for relative in cls.OBS_NAMES_FILES:
+            candidate = root / relative
+            if candidate.is_file():
+                obs_found = True
+                obs_names.update(
+                    _dotted_literals(candidate.read_text(encoding="utf-8"))
+                )
+        return cls(
+            root=root,
+            kernel_registry=frozenset(names) if found else None,
+            obs_names=frozenset(obs_names) if obs_found else None,
+        )
 
 
 def _identifiers(source: str) -> set[str]:
     """Every identifier-shaped token in ``source`` (registry extraction)."""
     return set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", source))
+
+
+_DOTTED_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def _dotted_literals(source: str) -> set[str]:
+    """Every dotted-lowercase string literal in ``source`` (RL006 registry)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return set()
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and _DOTTED_NAME.match(node.value)
+    }
 
 
 @dataclass(frozen=True)

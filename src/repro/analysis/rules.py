@@ -1,4 +1,4 @@
-"""The repro project's invariant checkers (rules RL001–RL005).
+"""The repro project's invariant checkers (rules RL001–RL006).
 
 Each rule encodes one convention the engine's correctness or
 reproducibility depends on; see ``docs/static-analysis.md`` for the full
@@ -6,18 +6,21 @@ rationale and suppression guidance.
 
 ================  ====================================================
 RL001             unseeded randomness outside ``tests/``
-RL002             raw clock access outside ``core/budget.py`` and
-                  ``benchmarks/``
+RL002             raw clock access outside ``core/budget.py``,
+                  ``benchmarks/`` and ``obs/``
 RL003             ``Node`` mutators that skip bounds-cache invalidation
 RL004             ``use_kernels`` entry points without a scalar twin or
                   a registered parity test
 RL005             search loops in ``core/`` bypassing :class:`Budget`
+RL006             span/metric names that are not dotted-lowercase
+                  literals registered in ``obs/names.py``
 ================  ====================================================
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from .framework import Checker, Finding, Module, register
@@ -28,6 +31,7 @@ __all__ = [
     "CacheInvalidation",
     "KernelParity",
     "BudgetDiscipline",
+    "ObservabilityNames",
 ]
 
 
@@ -169,20 +173,26 @@ class UnseededRandomness(Checker):
 # ----------------------------------------------------------------------
 @register
 class ClockDiscipline(Checker):
-    """Wall-clock reads are confined to ``core/budget.py`` and benchmarks.
+    """Wall-clock reads are confined to ``core/budget.py``, ``benchmarks/``
+    and ``obs/``.
 
     Budgets carry an injectable ``clock`` so tests can simulate time; a raw
     ``time.perf_counter()`` elsewhere cannot be faked and re-introduces
     timing-dependent behaviour.  Measure durations with
-    :class:`repro.core.budget.Stopwatch` instead.
+    :class:`repro.core.budget.Stopwatch` instead.  The observability layer
+    is on the allowlist for the same reason benchmarks are: it *reports*
+    time (span durations, event timestamps) rather than steering the
+    search, and its tracer clock is injectable anyway.
     """
 
     rule = "RL002"
-    description = "raw clock access outside core/budget.py and benchmarks/"
+    description = "raw clock access outside core/budget.py, benchmarks/ and obs/"
 
     CLOCK_ATTRIBUTES = frozenset({"time", "monotonic", "perf_counter", "process_time"})
     ALLOWED_SUFFIXES = ("repro/core/budget.py", "core/budget.py")
-    ALLOWED_DIRECTORIES = ("benchmarks",)
+    #: ``obs/`` is sanctioned: sinks stamp wall-clock timestamps and the
+    #: default tracer clock falls back to a Stopwatch-compatible reader
+    ALLOWED_DIRECTORIES = ("benchmarks", "obs")
 
     def applies(self, module: Module) -> bool:
         if any(module.path_endswith(suffix) for suffix in self.ALLOWED_SUFFIXES):
@@ -551,3 +561,79 @@ class BudgetDiscipline(Checker):
         if name is not None and name in self.COUNTER_NAMES:
             return name
         return None
+
+
+# ----------------------------------------------------------------------
+# RL006 — observability name discipline
+# ----------------------------------------------------------------------
+#: mirror of ``repro.obs.names.NAME_PATTERN`` (kept independent so the
+#: analysis package never imports the engine it lints)
+_DOTTED_OBS_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+@register
+class ObservabilityNames(Checker):
+    """Spans and metrics are created only with registered literal names.
+
+    Aggregation across processes, the trace summarizer, and every dashboard
+    keyed on a metric name all assume a closed vocabulary: a name invented
+    at a call site (or worse, interpolated from runtime data) fragments the
+    time series and silently drops the point from merged reports.  RL006
+    therefore requires the first argument of ``span(...)``, ``counter(...)``,
+    ``gauge(...)`` and ``histogram(...)`` to be a dotted-lowercase string
+    *literal* declared in ``src/repro/obs/names.py``.  Inside ``obs/``
+    itself the rule is off — the registry plumbing necessarily handles
+    names as variables.
+    """
+
+    rule = "RL006"
+    description = "span/metric names must be literals registered in obs/names.py"
+
+    FACTORY_METHODS = frozenset({"span", "counter", "gauge", "histogram"})
+    REGISTRY_FILE = "src/repro/obs/names.py"
+
+    def applies(self, module: Module) -> bool:
+        return not _in_tests(module) and not module.in_directory("obs")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        registry = module.context.obs_names
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.FACTORY_METHODS
+                and node.args
+            ):
+                continue
+            name_node = node.args[0]
+            if not (
+                isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)
+            ):
+                yield self.finding(
+                    module,
+                    name_node,
+                    f"{node.func.attr}() name must be a string literal, "
+                    "not a computed expression",
+                    hint="branch to distinct call sites with literal names "
+                    f"registered in {self.REGISTRY_FILE}",
+                )
+                continue
+            name = name_node.value
+            if not _DOTTED_OBS_NAME.match(name):
+                yield self.finding(
+                    module,
+                    name_node,
+                    f"{node.func.attr}() name {name!r} is not "
+                    "dotted-lowercase (like 'gils.climb')",
+                    hint="use lowercase [a-z0-9_] segments joined by dots",
+                )
+            elif registry is not None and name not in registry:
+                yield self.finding(
+                    module,
+                    name_node,
+                    f"{node.func.attr}() name {name!r} is not registered "
+                    f"in {self.REGISTRY_FILE}",
+                    hint=f"add {name!r} to the SPAN_NAMES/METRIC_NAMES "
+                    f"registry in {self.REGISTRY_FILE}",
+                )

@@ -73,9 +73,21 @@ def write_json(path, payload: object, indent: int = 2) -> None:
 
     Used by ``benchmarks/bench_kernels.py`` to emit machine-readable
     speedup reports (``BENCH_kernels.json``) next to the rendered tables.
+    When an observation is active (``repro.obs``), its metric snapshot is
+    attached to dict payloads under ``"metrics"`` so every ``BENCH_*.json``
+    records the index/evaluator work behind its numbers.
     """
     import json
 
+    from ..obs import current
+
+    observation = current()
+    if (
+        observation.enabled
+        and isinstance(payload, dict)
+        and "metrics" not in payload
+    ):
+        payload = {**payload, "metrics": observation.registry.snapshot()}
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=indent, sort_keys=True)
         handle.write("\n")

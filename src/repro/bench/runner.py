@@ -116,13 +116,14 @@ def run_fig10a(config: Fig10aConfig) -> list[dict]:
                 "time_limit": time_limit,
             }
             for name, runner in config.heuristics.items():
-                similarities = [
-                    runner(
-                        instance, Budget.seconds(time_limit), config.seed + rep
-                    ).best_similarity
+                results = [
+                    runner(instance, Budget.seconds(time_limit), config.seed + rep)
                     for rep in range(config.repetitions)
                 ]
-                row[name] = statistics.fmean(similarities)
+                row[name] = statistics.fmean(r.best_similarity for r in results)
+                row[f"{name} node_reads"] = statistics.fmean(
+                    _node_reads(result) for result in results
+                )
             rows.append(row)
     return rows
 
@@ -210,13 +211,14 @@ def run_fig10c(config: Fig10cConfig) -> list[dict]:
             "density": instance.density,
         }
         for name, runner in config.heuristics.items():
-            similarities = [
-                runner(
-                    instance, Budget.seconds(config.time_limit), config.seed + rep
-                ).best_similarity
+            results = [
+                runner(instance, Budget.seconds(config.time_limit), config.seed + rep)
                 for rep in range(config.repetitions)
             ]
-            row[name] = statistics.fmean(similarities)
+            row[name] = statistics.fmean(r.best_similarity for r in results)
+            row[f"{name} node_reads"] = statistics.fmean(
+                _node_reads(result) for result in results
+            )
         rows.append(row)
     return rows
 
@@ -283,6 +285,14 @@ def run_fig11(config: Fig11Config) -> list[dict]:
             row[f"{label} exact"] = f"{exact[label]}/{config.repetitions}"
         rows.append(row)
     return rows
+
+
+def _node_reads(result: RunResult) -> int:
+    """R*-tree node accesses of one run (``stats["index"]`` delta)."""
+    index_work = result.stats.get("index")
+    if isinstance(index_work, dict):
+        return int(index_work.get("node_reads", 0))
+    return 0
 
 
 def _instance_seed(base: int, tag: str, value: int) -> int:

@@ -12,11 +12,17 @@ Commands
 ``generate`` / ``rerun``
     Persist a hard instance to a directory / re-run an algorithm on a
     previously persisted instance (bit-exact reproducibility).
+``trace``
+    Inspect JSONL traces produced by ``solve --trace``: ``trace summarize``
+    prints the per-phase time/node-access table, ``trace validate`` checks
+    every record against the event schema.
 
 Example::
 
     python -m repro.cli fig10a --variables 5 10 15 --repetitions 3
     python -m repro.cli solve --query clique --variables 8 --algorithm sea
+    python -m repro.cli solve --algorithm gils --trace out.jsonl --metrics
+    python -m repro.cli trace summarize out.jsonl
 """
 
 from __future__ import annotations
@@ -51,6 +57,14 @@ from .core import (
     portfolio_search,
     spatial_evolutionary_algorithm,
     two_step,
+)
+from .obs import (
+    JsonlSink,
+    Observation,
+    observe,
+    phase_rows,
+    read_trace,
+    summarize_trace,
 )
 from .query import hard_instance, load_instance, planted_instance, save_instance
 
@@ -114,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--restarts", type=int, default=1,
                        help="independent seeds of one heuristic, best kept "
                             "(> 1 runs ils/gils/sea via parallel_restarts)")
+    solve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a schema-versioned JSONL event trace "
+                            "(spans, metrics, convergence points)")
+    solve.add_argument("--metrics", action="store_true",
+                       help="collect and print the metrics registry after "
+                            "the run")
+
+    trace = commands.add_parser(
+        "trace", help="inspect JSONL traces written by solve --trace"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_commands.add_parser(
+        "summarize", help="per-phase time/node-access table of one trace"
+    )
+    summarize.add_argument("path")
+    validate = trace_commands.add_parser(
+        "validate", help="check every record against the event schema"
+    )
+    validate.add_argument("path")
 
     generate = commands.add_parser(
         "generate", help="persist a hard instance to a directory"
@@ -146,11 +179,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fig10c": _cmd_fig10c,
         "fig11": _cmd_fig11,
         "solve": _cmd_solve,
+        "trace": _cmd_trace,
         "generate": _cmd_generate,
         "rerun": _cmd_rerun,
     }[args.command]
-    handler(args)
-    return 0
+    return int(handler(args) or 0)
 
 
 def _cmd_fig10a(args: argparse.Namespace) -> None:
@@ -261,6 +294,34 @@ def _cmd_solve(args: argparse.Namespace) -> None:
           f"density={instance.density:.4g} "
           f"expected solutions={instance.expected_solutions:.3g}")
     budget = Budget.seconds(args.seconds)
+    if not (args.trace or args.metrics):
+        _solve_and_report(args, instance, budget)
+        return
+
+    sink = JsonlSink(args.trace) if args.trace else None
+    observation = Observation(sink=sink)
+    try:
+        with observe(observation):
+            with observation.span("solve.run"):
+                _solve_and_report(args, instance, budget)
+            observation.emit_metrics()
+    finally:
+        observation.close()
+    if args.trace:
+        print(f"trace: {args.trace}")
+    if args.metrics:
+        snapshot = observation.registry.snapshot()
+        rows = [list(item) for item in snapshot["counters"].items()]
+        if rows:
+            print(format_table("metrics — counters", ["metric", "value"], rows))
+        for kind in ("gauges", "histograms"):
+            if snapshot[kind]:
+                print(f"{kind}: {snapshot[kind]}")
+
+
+def _solve_and_report(
+    args: argparse.Namespace, instance, budget: Budget
+) -> None:
     if args.restarts > 1 and args.algorithm in ("ils", "gils", "sea"):
         result = parallel_restarts(
             instance, budget, seed=args.seed, heuristic=args.algorithm,
@@ -291,6 +352,45 @@ def _cmd_solve(args: argparse.Namespace) -> None:
         print("convergence:")
         for point in result.trace.points[-5:]:
             print(f"  t={point.elapsed:8.3f}s similarity={point.similarity:.4f}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "validate":
+        try:
+            records = read_trace(args.path, validate=True)
+        except ValueError as error:
+            print(f"invalid trace: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: {len(records)} records, all schema-valid")
+        return 0
+
+    records = read_trace(args.path, validate=True)
+    summary = summarize_trace(records)
+    print(f"trace: {args.path} — {summary['events']} events"
+          + (f", members {summary['members']}" if summary["members"] else ""))
+    rows = phase_rows(summary)
+    if rows:
+        print(format_table(
+            "per-phase wall time and node accesses",
+            ["phase", "count", "time(s)", "node reads"],
+            rows,
+        ))
+    convergence = summary["convergence"]
+    if convergence is not None:
+        print(f"convergence: {convergence['points']} points, final "
+              f"violations={convergence['final_violations']} "
+              f"similarity={convergence['final_similarity']:.4f}")
+    for label in ("local_maxima", "restarts", "crossovers"):
+        if summary[label]:
+            print(f"{label.replace('_', ' ')}: {summary[label]}")
+    metrics = summary["metrics"]
+    if metrics and metrics.get("counters"):
+        print(format_table(
+            "final metric snapshot — counters",
+            ["metric", "value"],
+            [list(item) for item in metrics["counters"].items()],
+        ))
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> None:

@@ -29,10 +29,12 @@ import random
 from dataclasses import dataclass
 
 from ..index.queries import search_predicate
+from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
+from ..obs import current
 from ..query import ProblemInstance
 from .budget import Budget
 from .evaluator import QueryEvaluator
-from .result import ConvergenceTrace, RunResult
+from .result import RunResult
 
 __all__ = ["SAConfig", "indexed_simulated_annealing"]
 
@@ -85,9 +87,12 @@ def indexed_simulated_annealing(
     config = config or SAConfig()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    obs = current()
+    baseline = snapshot_trees(evaluator.trees)
+    probe = node_reads_probe(evaluator.trees)
     budget.start()
 
-    trace = ConvergenceTrace()
+    trace = obs.convergence_trace()
     state = evaluator.random_state(rng)
     best_values = state.as_tuple()
     best_violations = state.violations
@@ -96,32 +101,37 @@ def indexed_simulated_annealing(
     accepted = 0
     num_variables = evaluator.num_variables
 
-    while not budget.exhausted():
-        if config.stop_on_exact and best_violations == 0:
-            break
-        variable = rng.randrange(num_variables)
-        candidate = _propose(state, evaluator, variable, config, rng)
-        iterations += 1
-        budget.tick()
-        if candidate is None or candidate == state.values[variable]:
-            continue
-        before = state.violations
-        old_value = state.values[variable]
-        state.set_value(variable, candidate)
-        delta = state.violations - before
-        if delta > 0:
-            temperature = config.temperature(budget.progress())
-            if rng.random() >= math.exp(-delta / temperature):
-                state.set_value(variable, old_value)  # reject
+    with obs.span("isa.run", io=probe):
+        while not budget.exhausted():
+            if config.stop_on_exact and best_violations == 0:
+                break
+            variable = rng.randrange(num_variables)
+            candidate = _propose(state, evaluator, variable, config, rng)
+            iterations += 1
+            budget.tick()
+            if candidate is None or candidate == state.values[variable]:
                 continue
-        accepted += 1
-        if state.violations < best_violations:
-            best_violations = state.violations
-            best_values = state.as_tuple()
-            trace.record(
-                budget.elapsed(), iterations, best_violations, state.similarity
-            )
+            before = state.violations
+            old_value = state.values[variable]
+            state.set_value(variable, candidate)
+            delta = state.violations - before
+            if delta > 0:
+                temperature = config.temperature(budget.progress())
+                if rng.random() >= math.exp(-delta / temperature):
+                    state.set_value(variable, old_value)  # reject
+                    continue
+            accepted += 1
+            if state.violations < best_violations:
+                best_violations = state.violations
+                best_values = state.as_tuple()
+                trace.record(
+                    budget.elapsed(), iterations, best_violations, state.similarity
+                )
 
+    obs.counter("isa.proposals").inc(iterations)
+    obs.counter("isa.accepted_moves").inc(accepted)
+    index_work = index_work_since(evaluator.trees, baseline)
+    obs.absorb_index_work(index_work)
     return RunResult(
         algorithm="ISA" if config.guided_move_rate > 0 else "SA",
         best_assignment=best_values,
@@ -134,6 +144,7 @@ def indexed_simulated_annealing(
         stats={
             "accepted_moves": accepted,
             "guided_move_rate": config.guided_move_rate,
+            "index": index_work,
         },
     )
 

@@ -35,6 +35,7 @@ from ..geometry import Intersects, Rect, RectColumns, SpatialPredicate
 from ..geometry.kernels import count_satisfied, make_count_scorer
 from ..index import RStarTree
 from ..index.node import Node
+from ..obs import current
 
 __all__ = ["BestValue", "find_best_value", "brute_force_best_value"]
 
@@ -93,6 +94,12 @@ def find_best_value(
     if not constraints:
         return None
     tree.stats.best_value_searches += 1
+    obs = current()
+    if obs.enabled:
+        if use_kernels:
+            obs.counter("best_value.kernel_searches").inc()
+        else:
+            obs.counter("best_value.scalar_searches").inc()
     if tree.root.mbr is None:
         return None
     all_intersects = all(type(predicate) is Intersects for predicate, _w in constraints)

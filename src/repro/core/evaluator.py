@@ -26,6 +26,7 @@ import numpy as np
 from ..geometry import Rect, RectColumns, SpatialPredicate
 from ..geometry.kernels import test_pairs
 from ..index import RStarTree
+from ..obs import current
 from ..query import ProblemInstance
 from .solution import SolutionState
 
@@ -70,6 +71,9 @@ class QueryEvaluator:
 
     def count_violations(self, values: list[int] | tuple[int, ...]) -> int:
         """Inconsistency degree: number of violated join conditions."""
+        obs = current()
+        if obs.enabled:  # one attribute check when observation is off
+            obs.counter("eval.violation_checks").inc()
         violations = 0
         rects = self.rects
         for i, j, predicate in self.query.edges():
@@ -128,6 +132,9 @@ class QueryEvaluator:
                 f"expected a (k, {self.num_variables}) value matrix, "
                 f"got shape {matrix.shape}"
             )
+        obs = current()
+        if obs.enabled:
+            obs.counter("eval.batch_rows").inc(len(matrix))
         if not self.use_kernels:
             return np.array(
                 [self.count_violations(row) for row in matrix.tolist()], dtype=np.intp

@@ -22,12 +22,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
+from ..obs import current
 from ..query import ProblemInstance
 from .best_value import find_best_value
 from .budget import Budget
 from .evaluator import QueryEvaluator
 from .penalties import PenaltyTable
-from .result import ConvergenceTrace, RunResult
+from .result import RunResult
 from .solution import SolutionState
 
 __all__ = ["GILSConfig", "guided_indexed_local_search", "DEFAULT_LAMBDA_FACTOR"]
@@ -67,39 +69,50 @@ def guided_indexed_local_search(
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
     penalties = PenaltyTable(config.resolve_lambda(instance))
+    obs = current()
+    baseline = snapshot_trees(evaluator.trees)
+    probe = node_reads_probe(evaluator.trees)
     budget.start()
 
-    trace = ConvergenceTrace()
-    state = evaluator.random_state(rng)
-    best_values = state.as_tuple()
-    best_violations = state.violations
-    trace.record(budget.elapsed(), 0, best_violations, state.similarity)
-    iterations = 0
-    local_maxima = 0
+    trace = obs.convergence_trace()
+    with obs.span("gils.run", io=probe):
+        with obs.span("gils.seed"):
+            state = evaluator.random_state(rng)
+        best_values = state.as_tuple()
+        best_violations = state.violations
+        trace.record(budget.elapsed(), 0, best_violations, state.similarity)
+        iterations = 0
+        local_maxima = 0
 
-    def note_if_best(current: SolutionState) -> None:
-        nonlocal best_values, best_violations
-        if current.violations < best_violations:
-            best_violations = current.violations
-            best_values = current.as_tuple()
-            trace.record(
-                budget.elapsed(), iterations, best_violations, current.similarity
-            )
+        def note_if_best(candidate: SolutionState) -> None:
+            nonlocal best_values, best_violations
+            if candidate.violations < best_violations:
+                best_violations = candidate.violations
+                best_values = candidate.as_tuple()
+                trace.record(
+                    budget.elapsed(), iterations, best_violations, candidate.similarity
+                )
 
-    done = config.stop_on_exact and state.is_exact
-    while not done and not budget.exhausted():
-        improved = _improve_once_effective(state, evaluator, penalties)
-        iterations += 1
-        budget.tick()
-        if improved:
-            note_if_best(state)
-            if config.stop_on_exact and state.is_exact:
-                break
-        else:
-            # local maximum w.r.t. the effective inconsistency degree
-            local_maxima += 1
-            penalties.punish_minimum(state.values)
+        done = config.stop_on_exact and state.is_exact
+        with obs.span("gils.climb", io=probe):
+            while not done and not budget.exhausted():
+                improved = _improve_once_effective(state, evaluator, penalties)
+                iterations += 1
+                budget.tick()
+                if improved:
+                    note_if_best(state)
+                    if config.stop_on_exact and state.is_exact:
+                        break
+                else:
+                    # local maximum w.r.t. the effective inconsistency degree
+                    local_maxima += 1
+                    obs.counter("gils.local_maxima").inc()
+                    obs.event("local_maximum", violations=state.violations)
+                    penalties.punish_minimum(state.values)
 
+    obs.counter("gils.penalties_issued").inc(penalties.total_issued)
+    index_work = index_work_since(evaluator.trees, baseline)
+    obs.absorb_index_work(index_work)
     return RunResult(
         algorithm="GILS",
         best_assignment=best_values,
@@ -114,6 +127,7 @@ def guided_indexed_local_search(
             "penalties_issued": penalties.total_issued,
             "penalised_assignments": len(penalties),
             "lambda": penalties.lam,
+            "index": index_work,
         },
     )
 

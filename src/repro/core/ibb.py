@@ -19,10 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..index.queries import search_predicate
+from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
+from ..obs import current
 from ..query import ProblemInstance
 from .budget import Budget
 from .evaluator import QueryEvaluator
-from .result import ConvergenceTrace, RunResult
+from .result import RunResult
 
 __all__ = ["IBBConfig", "indexed_branch_and_bound", "connectivity_order"]
 
@@ -67,6 +69,9 @@ def indexed_branch_and_bound(
     config = config or IBBConfig()
     evaluator = evaluator or QueryEvaluator(instance)
     budget = budget or Budget.iterations(10**12)
+    obs = current()
+    tree_baseline = snapshot_trees(evaluator.trees)
+    probe = node_reads_probe(evaluator.trees)
     budget.start()
 
     num_variables = evaluator.num_variables
@@ -85,7 +90,7 @@ def indexed_branch_and_bound(
         incumbent_violations = evaluator.num_constraints + 1
         incumbent_values = None
 
-    trace = ConvergenceTrace()
+    trace = obs.convergence_trace()
     nodes_expanded = 0
     exhausted_cleanly = True
     values = [0] * num_variables
@@ -139,10 +144,14 @@ def indexed_branch_and_bound(
             values[variable] = object_id
             descend(depth + 1, partial_violations + added_violations)
 
-    try:
-        descend(0, 0)
-    except _Stop:
-        pass
+    with obs.span("ibb.run", io=probe):
+        try:
+            descend(0, 0)
+        except _Stop:
+            pass
+    obs.counter("ibb.nodes_expanded").inc(nodes_expanded)
+    index_work = index_work_since(evaluator.trees, tree_baseline)
+    obs.absorb_index_work(index_work)
 
     proven = exhausted_cleanly or incumbent_violations == 0
     if incumbent_values is None:
@@ -159,7 +168,11 @@ def indexed_branch_and_bound(
         iterations=nodes_expanded,
         milestones=nodes_expanded,
         trace=trace,
-        stats={"nodes_expanded": nodes_expanded, "proven_optimal": proven},
+        stats={
+            "nodes_expanded": nodes_expanded,
+            "proven_optimal": proven,
+            "index": index_work,
+        },
     )
 
 

@@ -24,11 +24,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
+from ..obs import current
 from ..query import ProblemInstance
 from .best_value import find_best_value
 from .budget import Budget
 from .evaluator import QueryEvaluator
-from .result import ConvergenceTrace, RunResult
+from .result import RunResult
 from .solution import SolutionState
 
 __all__ = ["ILSConfig", "indexed_local_search"]
@@ -64,12 +66,16 @@ def indexed_local_search(
     config = config or ILSConfig()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    obs = current()
+    baseline = snapshot_trees(evaluator.trees)
+    probe = node_reads_probe(evaluator.trees)
     budget.start()
 
-    trace = ConvergenceTrace()
+    trace = obs.convergence_trace()
     best_values: tuple[int, ...] | None = None
     best_violations = evaluator.num_constraints + 1
     local_maxima = 0
+    restarts = 0
     iterations = 0
 
     def note_if_best(state: SolutionState) -> None:
@@ -82,24 +88,34 @@ def indexed_local_search(
             )
 
     done = False
-    while not done and not budget.exhausted():
-        state = evaluator.random_state(rng)
-        note_if_best(state)
-        # climb to a local maximum
-        while not done:
-            improved = _improve_once(state, evaluator, config, rng)
-            iterations += 1
-            budget.tick()
-            if improved:
-                note_if_best(state)
-                if config.stop_on_exact and state.is_exact:
-                    done = True
-            else:
-                local_maxima += 1
-                break
-            if budget.exhausted():
-                done = True
+    with obs.span("ils.run", io=probe):
+        while not done and not budget.exhausted():
+            obs.event("restart", index=restarts)
+            obs.counter("ils.restarts").inc()
+            restarts += 1
+            with obs.span("ils.seed"):
+                state = evaluator.random_state(rng)
+            note_if_best(state)
+            # climb to a local maximum
+            with obs.span("ils.climb", io=probe):
+                while not done:
+                    improved = _improve_once(state, evaluator, config, rng)
+                    iterations += 1
+                    budget.tick()
+                    if improved:
+                        note_if_best(state)
+                        if config.stop_on_exact and state.is_exact:
+                            done = True
+                    else:
+                        local_maxima += 1
+                        obs.counter("ils.local_maxima").inc()
+                        obs.event("local_maximum", violations=state.violations)
+                        break
+                    if budget.exhausted():
+                        done = True
 
+    index_work = index_work_since(evaluator.trees, baseline)
+    obs.absorb_index_work(index_work)
     return RunResult(
         algorithm="ILS" if config.use_index else "LS-random",
         best_assignment=best_values if best_values is not None else (),
@@ -109,7 +125,11 @@ def indexed_local_search(
         iterations=iterations,
         milestones=local_maxima,
         trace=trace,
-        stats={"local_maxima": local_maxima},
+        stats={
+            "local_maxima": local_maxima,
+            "restarts": restarts,
+            "index": index_work,
+        },
     )
 
 

@@ -31,6 +31,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..obs import Observation, collect_exports, current, export_state, merge_states, observe, replay_into
 from ..query import ProblemInstance
 from .budget import Budget, Stopwatch
 from .evaluator import QueryEvaluator
@@ -75,17 +76,44 @@ class RunSpec:
 # instance costs one pickle per core, not one per restart.
 _WORKER_INSTANCE: ProblemInstance | None = None
 _WORKER_EVALUATOR: QueryEvaluator | None = None
+_WORKER_OBSERVE: bool = False
 
 
-def _init_worker(instance: ProblemInstance, use_kernels: bool) -> None:
-    global _WORKER_INSTANCE, _WORKER_EVALUATOR
+def _init_worker(
+    instance: ProblemInstance, use_kernels: bool, observe_members: bool = False
+) -> None:
+    global _WORKER_INSTANCE, _WORKER_EVALUATOR, _WORKER_OBSERVE
     _WORKER_INSTANCE = instance
     _WORKER_EVALUATOR = QueryEvaluator(instance, use_kernels=use_kernels)
+    _WORKER_OBSERVE = observe_members
 
 
 def _run_spec_in_worker(spec: RunSpec) -> RunResult:
     assert _WORKER_INSTANCE is not None and _WORKER_EVALUATOR is not None
-    return _execute_spec(spec, _WORKER_INSTANCE, _WORKER_EVALUATOR)
+    return _observed_spec_run(
+        spec, _WORKER_INSTANCE, _WORKER_EVALUATOR, _WORKER_OBSERVE
+    )
+
+
+def _observed_spec_run(
+    spec: RunSpec,
+    instance: ProblemInstance,
+    evaluator: QueryEvaluator,
+    observe_members: bool,
+) -> RunResult:
+    """Run one spec, optionally under a fresh per-member observation.
+
+    The member's metrics and events are exported as a picklable payload in
+    ``result.stats["obs"]``; the parent pops and merges these (see
+    :mod:`repro.obs.aggregate`).  Used identically by the inline path and
+    the pool workers so merged output is worker-count independent.
+    """
+    if not observe_members:
+        return _execute_spec(spec, instance, evaluator)
+    with observe(Observation()) as member_observation:
+        result = _execute_spec(spec, instance, evaluator)
+    result.stats["obs"] = export_state(member_observation)
+    return result
 
 
 def _execute_spec(
@@ -109,21 +137,31 @@ def run_specs(
     workers: int | None = None,
     evaluator: QueryEvaluator | None = None,
     use_kernels: bool = True,
+    observe_members: bool | None = None,
 ) -> list[RunResult]:
     """Execute ``specs`` and return their results in spec order.
 
     ``workers=1`` (or a single spec) runs inline in this process — no pool,
     no pickling — which is also the reference behaviour the determinism
     tests compare multi-worker runs against.
+
+    ``observe_members=None`` observes members exactly when the calling
+    process has an active observation; each member then ships its metrics
+    and events back in ``result.stats["obs"]``.
     """
     workers = default_workers() if workers is None else max(1, workers)
+    if observe_members is None:
+        observe_members = current().enabled
     if workers == 1 or len(specs) <= 1:
         evaluator = evaluator or QueryEvaluator(instance, use_kernels=use_kernels)
-        return [_execute_spec(spec, instance, evaluator) for spec in specs]
+        return [
+            _observed_spec_run(spec, instance, evaluator, observe_members)
+            for spec in specs
+        ]
     with ProcessPoolExecutor(
         max_workers=min(workers, len(specs)),
         initializer=_init_worker,
-        initargs=(instance, use_kernels),
+        initargs=(instance, use_kernels, observe_members),
     ) as pool:
         return list(pool.map(_run_spec_in_worker, specs))
 
@@ -159,13 +197,29 @@ def parallel_restarts(
         )
         for index in range(restarts)
     ]
+    obs = current()
     watch = Stopwatch()
-    results = run_specs(instance, specs, workers, evaluator, use_kernels)
+    with obs.span("parallel.run"):
+        results = run_specs(instance, specs, workers, evaluator, use_kernels)
     elapsed = watch.elapsed()
+
+    stats: dict[str, object] = {"restarts": restarts}
+    if obs.enabled:
+        payloads = collect_exports([result.stats for result in results])
+        merged_members = merge_states(payloads)
+        replay_into(obs, merged_members)
+        obs.counter("parallel.members").inc(len(results))
+        stats["obs"] = {
+            "members": merged_members["members"],
+            "metrics": merged_members["metrics"],
+            "events": len(merged_members["events"]),
+        }
 
     best = min(enumerate(results), key=lambda pair: (pair[1].best_violations, pair[0]))
     winner_index, winner = best
     merged = _merge_concurrent_traces(results)
+    stats["members"] = [member_stats(result) for result in results]
+    stats["winner"] = winner_index
     return RunResult(
         algorithm=f"parallel({heuristic}×{restarts})",
         best_assignment=winner.best_assignment,
@@ -175,22 +229,24 @@ def parallel_restarts(
         iterations=sum(result.iterations for result in results),
         milestones=sum(result.milestones for result in results),
         trace=merged,
-        stats={
-            "members": [member_stats(result) for result in results],
-            "winner": winner_index,
-            "restarts": restarts,
-        },
+        stats=stats,
     )
 
 
 def member_stats(result: RunResult) -> dict[str, object]:
-    """Structured per-member digest kept under ``stats["members"]``."""
+    """Structured per-member digest kept under ``stats["members"]``.
+
+    Includes the member's R*-tree work (``stats["index"]``, a
+    :meth:`TreeStats.snapshot`-shaped delta) so parallel summaries account
+    for index accesses, not just wall time.
+    """
     return {
         "algorithm": result.algorithm,
         "violations": result.best_violations,
         "similarity": result.best_similarity,
         "iterations": result.iterations,
         "elapsed": result.elapsed,
+        "index": result.stats.get("index"),
     }
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from ..obs import collect_exports, current, merge_states, replay_into
 from ..query import ProblemInstance
 from .budget import Budget, Stopwatch
 from .evaluator import QueryEvaluator
@@ -96,30 +97,33 @@ def portfolio_search(
 
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    obs = current()
 
     best: RunResult | None = None
     merged_trace = ConvergenceTrace()
     elapsed = 0.0
     iterations = 0
     member_summaries = []
-    for name, fraction in zip(heuristics, fractions):
-        member_budget = budget.split(fraction)
-        result = HEURISTICS[name](instance, member_budget, rng, evaluator)
-        member_summaries.append(member_stats(result))
-        for point in result.trace.points:
-            if best is None or point.violations < best.best_violations:
-                merged_trace.record(
-                    elapsed + point.elapsed,
-                    iterations + point.iterations,
-                    point.violations,
-                    point.similarity,
-                )
-        if best is None or result.best_violations < best.best_violations:
-            best = result
-        elapsed += result.elapsed
-        iterations += result.iterations
-        if best.best_violations == 0:
-            break
+    with obs.span("portfolio.run"):
+        # sequential members emit directly into the ambient observation
+        for name, fraction in zip(heuristics, fractions):
+            member_budget = budget.split(fraction)
+            result = HEURISTICS[name](instance, member_budget, rng, evaluator)
+            member_summaries.append(member_stats(result))
+            for point in result.trace.points:
+                if best is None or point.violations < best.best_violations:
+                    merged_trace.record(
+                        elapsed + point.elapsed,
+                        iterations + point.iterations,
+                        point.violations,
+                        point.similarity,
+                    )
+            if best is None or result.best_violations < best.best_violations:
+                best = result
+            elapsed += result.elapsed
+            iterations += result.iterations
+            if best.best_violations == 0:
+                break
 
     assert best is not None
     return RunResult(
@@ -159,12 +163,29 @@ def _portfolio_parallel(
                 index=index,
             )
         )
+    obs = current()
     watch = Stopwatch()
-    results = run_specs(instance, specs, workers)
+    with obs.span("portfolio.run"):
+        results = run_specs(instance, specs, workers)
     elapsed = watch.elapsed()
+
+    stats: dict[str, object] = {"workers": workers}
+    if obs.enabled:
+        payloads = collect_exports([result.stats for result in results])
+        merged_members = merge_states(payloads)
+        replay_into(obs, merged_members)
+        obs.counter("parallel.members").inc(len(results))
+        stats["obs"] = {
+            "members": merged_members["members"],
+            "metrics": merged_members["metrics"],
+            "events": len(merged_members["events"]),
+        }
+
     best_index, best = min(
         enumerate(results), key=lambda pair: (pair[1].best_violations, pair[0])
     )
+    stats["members"] = [member_stats(result) for result in results]
+    stats["winner"] = best_index
     return RunResult(
         algorithm=f"portfolio({'+'.join(heuristics)})",
         best_assignment=best.best_assignment,
@@ -174,9 +195,5 @@ def _portfolio_parallel(
         iterations=sum(result.iterations for result in results),
         milestones=len(results),
         trace=_merge_concurrent_traces(results),
-        stats={
-            "members": [member_stats(result) for result in results],
-            "winner": best_index,
-            "workers": workers,
-        },
+        stats=stats,
     )

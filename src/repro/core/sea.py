@@ -43,11 +43,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
+from ..obs import current
 from ..query import ProblemInstance
 from .best_value import find_best_value
 from .budget import Budget
 from .evaluator import QueryEvaluator
-from .result import ConvergenceTrace, RunResult
+from .result import RunResult
 from .sea_params import SEAParameters
 from .solution import SolutionState
 
@@ -107,101 +109,135 @@ def spatial_evolutionary_algorithm(
     evaluator = evaluator or QueryEvaluator(instance)
     parameters = config.resolve(instance)
     num_variables = evaluator.num_variables
+    obs = current()
+    baseline = snapshot_trees(evaluator.trees)
+    probe = node_reads_probe(evaluator.trees)
     budget.start()
 
-    trace = ConvergenceTrace()
-    # the whole initial population is evaluated in one batched kernel pass;
-    # values are drawn in the same rng order as per-state construction
-    population = evaluator.random_states(rng, parameters.population)
-    if config.seed_with_local_maxima:
-        population = [
-            _climb_to_local_maximum(state, evaluator, budget) for state in population
-        ]
-    best_values: tuple[int, ...] = population[0].as_tuple()
-    best_violations = population[0].violations
+    trace = obs.convergence_trace()
     generation = 0
     mutations = 0
     immigrants = 0
+    crossovers = 0
+    with obs.span("sea.run", io=probe):
+        with obs.span("sea.init", io=probe):
+            # the whole initial population is evaluated in one batched kernel
+            # pass; values are drawn in the same rng order as per-state
+            # construction
+            population = evaluator.random_states(rng, parameters.population)
+            if config.seed_with_local_maxima:
+                population = [
+                    _climb_to_local_maximum(state, evaluator, budget)
+                    for state in population
+                ]
+        best_values: tuple[int, ...] = population[0].as_tuple()
+        best_violations = population[0].violations
 
-    def note_if_best(state: SolutionState) -> bool:
-        nonlocal best_values, best_violations
-        if state.violations < best_violations:
-            best_violations = state.violations
-            best_values = state.as_tuple()
-            trace.record(
-                budget.elapsed(), generation, best_violations, state.similarity
-            )
-            return True
-        return False
-
-    # evaluate the initial generation
-    for state in population:
-        note_if_best(state)
-    exact_found = config.stop_on_exact and best_violations == 0
-
-    while not exact_found and not budget.exhausted():
-        point = parameters.crossover_point(generation, num_variables)
-
-        # --- offspring allocation (tournament selection) ---------------
-        size = len(population)
-        next_population = []
-        for state in population:
-            winner = state
-            for _ in range(parameters.tournament):
-                rival = population[rng.randrange(size)]
-                if rival.violations < winner.violations:
-                    winner = rival
-            next_population.append(winner.copy())
-        population = next_population
-
-        # --- immigration (laptop-scale adaptation, see module docstring) -
-        immigrant_quota = config.resolve_immigrants(parameters)
-        if immigrant_quota and not budget.exhausted():
-            worst_first = sorted(
-                range(size), key=lambda index: -population[index].violations
-            )
-            for index in worst_first[:immigrant_quota]:
-                fresh = _climb_to_local_maximum(
-                    evaluator.random_state(rng), evaluator, budget
+        def note_if_best(state: SolutionState) -> bool:
+            nonlocal best_values, best_violations
+            if state.violations < best_violations:
+                best_violations = state.violations
+                best_values = state.as_tuple()
+                trace.record(
+                    budget.elapsed(), generation, best_violations, state.similarity
                 )
-                population[index] = fresh
-                immigrants += 1
-                if note_if_best(fresh) and config.stop_on_exact and best_violations == 0:
-                    exact_found = True
-                    break
-            if exact_found:
-                break
+                return True
+            return False
 
-        # --- crossover --------------------------------------------------
+        # evaluate the initial generation
         for state in population:
-            if rng.random() >= parameters.crossover_rate:
-                continue
-            donor = population[rng.randrange(size)]
-            if donor is state:
-                continue
-            if parameters.crossover_kind == "greedy":
-                keep = greedy_keep_set(state, point)
-            else:
-                keep = _random_keep_set(num_variables, point, rng)
-            for variable in range(num_variables):
-                if variable not in keep:
-                    state.set_value(variable, donor.values[variable])
+            note_if_best(state)
+        exact_found = config.stop_on_exact and best_violations == 0
 
-        # --- mutation (the index-based operator) ------------------------
-        for state in population:
-            if parameters.mutation_rate < 1.0 and rng.random() >= parameters.mutation_rate:
-                continue
-            _mutate(state, evaluator)
-            mutations += 1
+        while not exact_found and not budget.exhausted():
+            with obs.span("sea.generation", io=probe):
+                point = parameters.crossover_point(generation, num_variables)
 
-        # --- evaluation --------------------------------------------------
-        generation += 1
-        budget.tick()
-        for state in population:
-            if note_if_best(state) and config.stop_on_exact and best_violations == 0:
-                exact_found = True
-                break
+                # --- offspring allocation (tournament selection) ---------
+                size = len(population)
+                next_population = []
+                for state in population:
+                    winner = state
+                    for _ in range(parameters.tournament):
+                        rival = population[rng.randrange(size)]
+                        if rival.violations < winner.violations:
+                            winner = rival
+                    next_population.append(winner.copy())
+                population = next_population
 
+                # --- immigration (laptop-scale adaptation, see module
+                # docstring) --------------------------------------------
+                immigrant_quota = config.resolve_immigrants(parameters)
+                if immigrant_quota and not budget.exhausted():
+                    worst_first = sorted(
+                        range(size), key=lambda index: -population[index].violations
+                    )
+                    for index in worst_first[:immigrant_quota]:
+                        fresh = _climb_to_local_maximum(
+                            evaluator.random_state(rng), evaluator, budget
+                        )
+                        population[index] = fresh
+                        immigrants += 1
+                        if (
+                            note_if_best(fresh)
+                            and config.stop_on_exact
+                            and best_violations == 0
+                        ):
+                            exact_found = True
+                            break
+                    if exact_found:
+                        break
+
+                # --- crossover ------------------------------------------
+                crossed = 0
+                for state in population:
+                    if rng.random() >= parameters.crossover_rate:
+                        continue
+                    donor = population[rng.randrange(size)]
+                    if donor is state:
+                        continue
+                    if parameters.crossover_kind == "greedy":
+                        keep = greedy_keep_set(state, point)
+                    else:
+                        keep = _random_keep_set(num_variables, point, rng)
+                    for variable in range(num_variables):
+                        if variable not in keep:
+                            state.set_value(variable, donor.values[variable])
+                    crossed += 1
+                if crossed:
+                    crossovers += crossed
+                    obs.event(
+                        "crossover", generation=generation, point=point, count=crossed
+                    )
+
+                # --- mutation (the index-based operator) ----------------
+                for state in population:
+                    if (
+                        parameters.mutation_rate < 1.0
+                        and rng.random() >= parameters.mutation_rate
+                    ):
+                        continue
+                    _mutate(state, evaluator)
+                    mutations += 1
+
+                # --- evaluation -----------------------------------------
+                generation += 1
+                budget.tick()
+                for state in population:
+                    if (
+                        note_if_best(state)
+                        and config.stop_on_exact
+                        and best_violations == 0
+                    ):
+                        exact_found = True
+                        break
+
+    obs.counter("sea.generations").inc(generation)
+    obs.counter("sea.mutations").inc(mutations)
+    obs.counter("sea.crossovers").inc(crossovers)
+    obs.counter("sea.immigrants").inc(immigrants)
+    index_work = index_work_since(evaluator.trees, baseline)
+    obs.absorb_index_work(index_work)
     return RunResult(
         algorithm="SEA",
         best_assignment=best_values,
@@ -216,9 +252,11 @@ def spatial_evolutionary_algorithm(
             "tournament": parameters.tournament,
             "mutations": mutations,
             "immigrants": immigrants,
+            "crossovers": crossovers,
             "final_crossover_point": parameters.crossover_point(
                 generation, num_variables
             ),
+            "index": index_work,
         },
     )
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..index.stats import node_reads_probe
+from ..obs import current
 from ..query import ProblemInstance
 from .annealing import SAConfig, indexed_simulated_annealing
 from .budget import Budget
@@ -95,8 +97,11 @@ def two_step(
         known = ", ".join(sorted(HEURISTICS))
         raise ValueError(f"unknown heuristic {heuristic!r}; known: {known}") from None
     evaluator = evaluator or QueryEvaluator(instance)
+    obs = current()
+    probe = node_reads_probe(evaluator.trees)
 
-    first = run_heuristic(instance, heuristic_budget, seed, evaluator)
+    with obs.span("two_step.heuristic", io=probe):
+        first = run_heuristic(instance, heuristic_budget, seed, evaluator)
     if first.is_exact:
         return TwoStepResult(
             heuristic=first,
@@ -107,14 +112,15 @@ def two_step(
             total_elapsed=first.elapsed,
         )
 
-    second = indexed_branch_and_bound(
-        instance,
-        budget=systematic_budget,
-        initial_bound=first.best_violations,
-        initial_assignment=first.best_assignment,
-        config=ibb_config,
-        evaluator=evaluator,
-    )
+    with obs.span("two_step.systematic", io=probe):
+        second = indexed_branch_and_bound(
+            instance,
+            budget=systematic_budget,
+            initial_bound=first.best_violations,
+            initial_assignment=first.best_assignment,
+            config=ibb_config,
+            evaluator=evaluator,
+        )
     if second.best_violations <= first.best_violations:
         best = second
     else:  # pragma: no cover - IBB never regresses below its seed

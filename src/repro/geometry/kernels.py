@@ -43,6 +43,7 @@ from .predicates import (
     SpatialPredicate,
     WithinDistance,
 )
+from ..obs import current
 from .rect import Rect
 
 __all__ = [
@@ -242,6 +243,9 @@ def pair_matrix(
     if mask is not None:
         return mask
     # scalar fallback for exotic predicate types: row-by-row
+    obs = current()
+    if obs.enabled:
+        obs.counter("kernels.scalar_pair_matrices").inc()
     rect_a = [Rect(*map(float, row)) for row in zip(*a)]
     rect_b = [Rect(*map(float, row)) for row in zip(*b)]
     out = np.empty((len(rect_a), len(rect_b)), dtype=bool)
@@ -261,6 +265,9 @@ def _scalar_count(
 ) -> None:
     """Row-by-row fallback for predicates without a vector kernel."""
     rects = [Rect(*map(float, row)) for row in zip(*rows)]
+    obs = current()
+    if obs.enabled:
+        obs.counter("kernels.scalar_fallback_rows").inc(len(rects))
     for predicate, window in constraints:
         check = getattr(predicate, method)
         for position, rect in enumerate(rects):

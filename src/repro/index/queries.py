@@ -89,10 +89,11 @@ def nearest_neighbors(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    stats = tree.stats
+    stats.knn_queries += 1
     if tree.root.mbr is None:
         return []
     point = Rect(x, y, x, y)
-    stats = tree.stats
     results: list[tuple[float, Rect, Any]] = []
     counter = 0  # heap tie-breaker; Rects are comparable but nodes are not
     heap: list[tuple[float, int, Any, Rect | None]] = [

@@ -103,6 +103,7 @@ class RStarTree:
     def insert(self, rect: Rect, item: Any) -> None:
         """Insert one object; ``item`` is opaque (object ids in this library)."""
         rect.validate()
+        self.stats.inserts += 1
         self._reinserted_levels = set()
         self._insert_at_level(rect, item, level=0)
         self._size += 1
@@ -238,6 +239,7 @@ class RStarTree:
             return False
         leaf, position = found
         leaf.remove_at(position)
+        self.stats.deletes += 1
         self._size -= 1
         self._condense(leaf)
         return True

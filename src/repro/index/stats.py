@@ -2,14 +2,22 @@
 
 The paper's systematic-search literature measures cost in node (page)
 accesses; the benchmark harness uses these counters to report index work per
-algorithm in addition to wall-clock time.
+algorithm in addition to wall-clock time.  The observability layer
+(:mod:`repro.obs`) absorbs :meth:`TreeStats.snapshot` deltas as ``index.*``
+counters, so every field name here doubles as a registered metric suffix.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Iterable, Mapping
 
-__all__ = ["TreeStats"]
+__all__ = [
+    "TreeStats",
+    "snapshot_trees",
+    "index_work_since",
+    "node_reads_probe",
+]
 
 
 @dataclass
@@ -22,27 +30,68 @@ class TreeStats:
     leaf_reads: int = 0
     #: number of window queries issued
     window_queries: int = 0
+    #: number of nearest-neighbour queries issued
+    knn_queries: int = 0
     #: number of ``find_best_value`` style branch-and-bound searches issued
     best_value_searches: int = 0
     #: structural writes (splits + forced reinsert rounds)
     splits: int = 0
     reinserts: int = 0
+    #: entries inserted into / deleted from the tree
+    inserts: int = 0
+    deletes: int = 0
 
     def reset(self) -> None:
-        self.node_reads = 0
-        self.leaf_reads = 0
-        self.window_queries = 0
-        self.best_value_searches = 0
-        self.splits = 0
-        self.reinserts = 0
+        """Zero every counter in place."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
 
     def snapshot(self) -> dict[str, int]:
-        """Plain-dict copy, convenient for benchmark reporting."""
+        """Plain-dict copy (detached: later tree work does not mutate it)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def diff(self, baseline: Mapping[str, int]) -> dict[str, int]:
+        """Per-counter delta since a previous :meth:`snapshot`.
+
+        Missing baseline keys count as zero, so snapshots taken before a
+        schema gained a field still diff cleanly.
+        """
         return {
-            "node_reads": self.node_reads,
-            "leaf_reads": self.leaf_reads,
-            "window_queries": self.window_queries,
-            "best_value_searches": self.best_value_searches,
-            "splits": self.splits,
-            "reinserts": self.reinserts,
+            field.name: getattr(self, field.name) - int(baseline.get(field.name, 0))
+            for field in fields(self)
         }
+
+
+def snapshot_trees(trees: Iterable[object]) -> list[dict[str, int]]:
+    """Snapshot the stats of several trees (baseline for :func:`index_work_since`)."""
+    return [tree.stats.snapshot() for tree in trees]  # type: ignore[attr-defined]
+
+
+def index_work_since(
+    trees: Iterable[object], baselines: Iterable[Mapping[str, int]]
+) -> dict[str, int]:
+    """Total per-counter delta across ``trees`` since ``baselines``.
+
+    Trees are long-lived and shared across runs, so their counters are
+    cumulative; algorithms snapshot at start and report the delta at end.
+    """
+    total: dict[str, int] = {field.name: 0 for field in fields(TreeStats)}
+    for tree, baseline in zip(trees, baselines):
+        delta = tree.stats.diff(baseline)  # type: ignore[attr-defined]
+        for key, amount in delta.items():
+            total[key] += amount
+    return total
+
+
+def node_reads_probe(trees: Iterable[object]):
+    """A zero-argument probe summing cumulative node reads across ``trees``.
+
+    Suitable as the ``io`` argument of :meth:`repro.obs.Observation.span`:
+    the span reports the probe delta as its ``node_reads``.
+    """
+    tree_list = list(trees)
+
+    def probe() -> int:
+        return sum(tree.stats.node_reads for tree in tree_list)  # type: ignore[attr-defined]
+
+    return probe

@@ -1,0 +1,101 @@
+"""Cross-process aggregation of worker observations.
+
+Workers in ``core/parallel.py`` each run under their own
+:class:`~repro.obs.Observation` backed by a :class:`MemorySink`.  At the
+end of a run the worker calls :func:`export_state` and ships the plain-dict
+payload back through the ``ProcessPoolExecutor`` result pickle (inside
+``RunResult.stats["obs"]``).  The parent merges every payload with
+:func:`merge_states` — deterministically, ordered by member index, never by
+completion order — and optionally replays the merged events into its own
+sink via :func:`replay_into`, tagging each record with the ``member`` that
+produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from .events import SCHEMA_VERSION, MemorySink
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from . import Observation
+
+__all__ = ["export_state", "merge_states", "replay_into", "collect_exports"]
+
+
+def export_state(observation: "Observation") -> dict[str, Any]:
+    """Render an observation as a pickle/JSON-safe payload for the parent.
+
+    Events are only exportable from a :class:`MemorySink`; file-backed
+    sinks export an empty event list (their records are already on disk).
+    """
+    sink = observation.sink
+    events: list[dict[str, Any]]
+    if isinstance(sink, MemorySink):
+        events = [dict(record) for record in sink.records]
+    else:
+        events = []
+    return {
+        "v": SCHEMA_VERSION,
+        "metrics": observation.registry.snapshot(),
+        "events": events,
+    }
+
+
+def merge_states(
+    payloads: Sequence[Optional[Mapping[str, Any]]],
+) -> dict[str, Any]:
+    """Deterministically merge per-member :func:`export_state` payloads.
+
+    ``payloads`` is indexed by member; ``None`` entries (members that ran
+    without observation) are skipped but keep their index.  Metrics merge
+    commutatively through :meth:`MetricsRegistry.merge`; events are
+    concatenated in ``(member, seq)`` order with a ``member`` tag added.
+    """
+    registry = MetricsRegistry()
+    events: list[dict[str, Any]] = []
+    members: list[int] = []
+    for member, payload in enumerate(payloads):
+        if payload is None:
+            continue
+        members.append(member)
+        registry.merge(payload.get("metrics", {}))
+        member_events = payload.get("events", [])
+        for record in sorted(member_events, key=lambda r: r.get("seq", 0)):
+            events.append({**record, "member": member})
+    return {
+        "v": SCHEMA_VERSION,
+        "metrics": registry.snapshot(),
+        "events": events,
+        "members": members,
+    }
+
+
+def replay_into(observation: "Observation", merged: Mapping[str, Any]) -> None:
+    """Fold a :func:`merge_states` result into a live parent observation.
+
+    Merged events are re-emitted through the parent's sink (which assigns
+    fresh ``seq`` numbers while preserving merge order); merged metrics
+    fold into the parent's registry.
+    """
+    for record in merged.get("events", ()):  # member tag already present
+        observation.sink.emit(dict(record))
+    observation.registry.merge(merged.get("metrics", {}))
+
+
+def collect_exports(
+    stats_list: Iterable[Optional[Mapping[str, Any]]],
+) -> list[Optional[dict[str, Any]]]:
+    """Pop the ``"obs"`` payload out of each member's ``RunResult.stats``.
+
+    Mutates the stats dicts in place (the raw per-member payload would
+    otherwise bloat every ``RunResult`` with duplicated event lists).
+    """
+    payloads: list[Optional[dict[str, Any]]] = []
+    for stats in stats_list:
+        if isinstance(stats, dict):
+            payloads.append(stats.pop("obs", None))
+        else:
+            payloads.append(None)
+    return payloads

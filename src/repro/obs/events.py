@@ -1,0 +1,187 @@
+"""Schema-versioned event records and buffered JSONL sinks.
+
+Every observable moment of a run — a span opening or closing, a metric
+snapshot, an incumbent improvement, a local maximum / restart / crossover —
+becomes one flat JSON record.  Records share four base fields::
+
+    {"v": 1, "type": "span_close", "ts": 0.1234, "seq": 17, ...}
+
+``ts`` is seconds since the owning observation started (per process — a
+worker's timestamps are relative to *its* run), ``seq`` is the sink-assigned
+emission index.  Records merged from parallel workers additionally carry a
+``member`` index.  Unknown extra fields are allowed (forward compatibility);
+missing or mistyped required fields fail :func:`validate_event`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EventSink",
+    "MemorySink",
+    "JsonlSink",
+    "validate_event",
+    "read_trace",
+]
+
+#: bump when the record layout changes incompatibly
+SCHEMA_VERSION = 1
+
+_FieldSpec = dict[str, tuple[type, ...]]
+
+_BASE_FIELDS: _FieldSpec = {
+    "v": (int,),
+    "type": (str,),
+    "ts": (int, float),
+    "seq": (int,),
+}
+
+#: required payload fields (and accepted types) per event type
+_TYPE_FIELDS: dict[str, _FieldSpec] = {
+    "span_open": {"name": (str,), "span": (int,), "parent": (int, type(None)), "depth": (int,)},
+    "span_close": {"name": (str,), "span": (int,), "elapsed": (int, float), "node_reads": (int, type(None))},
+    "metric_snapshot": {"metrics": (dict,)},
+    "convergence": {"elapsed": (int, float), "iterations": (int,), "violations": (int,), "similarity": (int, float)},
+    "local_maximum": {"violations": (int,)},
+    "restart": {"index": (int,)},
+    "crossover": {"generation": (int,), "point": (int,)},
+}
+
+EVENT_TYPES = frozenset(_TYPE_FIELDS)
+
+
+def validate_event(record: object) -> dict[str, Any]:
+    """Check one record against the schema; returns it, raises ``ValueError``.
+
+    Booleans are rejected where integers are expected (``True`` is an
+    ``int`` subclass but never a meaningful count or index).
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"event record must be an object, got {type(record).__name__}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported event schema version {version!r}")
+    event_type = record.get("type")
+    if event_type not in EVENT_TYPES:
+        raise ValueError(
+            f"unknown event type {event_type!r}; known: {sorted(EVENT_TYPES)}"
+        )
+    required = dict(_BASE_FIELDS)
+    required.update(_TYPE_FIELDS[event_type])
+    for field, accepted in required.items():
+        if field not in record:
+            raise ValueError(f"{event_type} record is missing field {field!r}")
+        value = record[field]
+        if isinstance(value, bool) or not isinstance(value, accepted):
+            raise ValueError(
+                f"{event_type} field {field!r} has invalid value {value!r}"
+            )
+    member = record.get("member")
+    if member is not None and (isinstance(member, bool) or not isinstance(member, int)):
+        raise ValueError(f"member must be an int, got {member!r}")
+    return record
+
+
+class EventSink:
+    """Base sink: assigns sequence numbers and forwards to :meth:`_write`."""
+
+    def __init__(self) -> None:
+        self._seq = 0
+
+    def emit(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Stamp ``record`` with the next sequence number and persist it."""
+        record["seq"] = self._seq
+        self._seq += 1
+        self._write(record)
+        return record
+
+    def _write(self, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Force buffered records out (no-op for unbuffered sinks)."""
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MemorySink(EventSink):
+    """Keeps records as dicts in memory — tests and worker export buffers."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: list[dict[str, Any]] = []
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(EventSink):
+    """Buffered one-record-per-line JSON file sink.
+
+    Records are serialised immediately (so later mutation cannot corrupt
+    the trace) but written in batches of ``buffer_size`` lines.
+    """
+
+    def __init__(self, path: str, buffer_size: int = 256) -> None:
+        super().__init__()
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.path = str(path)
+        self._buffer_size = buffer_size
+        self._buffer: list[str] = []
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._buffer.append(json.dumps(record, sort_keys=True))
+        if len(self._buffer) >= self._buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer and not self._handle.closed:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+            self._handle.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_trace(path: str, validate: bool = True) -> list[dict[str, Any]]:
+    """Parse (and by default validate) every record of a JSONL trace file."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {error}") from None
+            if validate:
+                try:
+                    validate_event(record)
+                except ValueError as error:
+                    raise ValueError(f"{path}:{line_number}: {error}") from None
+            records.append(record)
+    return records
+
+
+def dump_records(records: Iterable[dict[str, Any]], path: str) -> None:
+    """Write in-memory records as a JSONL trace (the MemorySink escape hatch)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")

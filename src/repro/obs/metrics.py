@@ -1,0 +1,186 @@
+"""Process-local registry of named counters, gauges and histograms.
+
+The registry is the numerical half of the observability layer: algorithms
+increment counters as they work, R*-tree deltas (:class:`TreeStats`) are
+absorbed under the ``index.*`` prefix, and :meth:`MetricsRegistry.snapshot`
+renders everything as a plain JSON-ready dict.  Snapshots from parallel
+workers merge deterministically — counters and histograms combine, gauges
+keep their maximum — independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .names import check_metric_name
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value metric (merged across workers by maximum)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values: count / total / min / max."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class _NullCounter:
+    """No-op counter handed out by the disabled observation."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with deterministic snapshots."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            check_metric_name(name)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            check_metric_name(name)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            check_metric_name(name)
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def absorb_index_work(self, delta: Mapping[str, int]) -> None:
+        """Fold a :meth:`TreeStats.snapshot`-shaped delta into ``index.*``."""
+        for key in sorted(delta):
+            amount = delta[key]
+            if amount:
+                self.counter(f"index.{key}").inc(amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain sorted-dict rendering — JSON- and pickle-friendly."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold one :meth:`snapshot` payload into this registry.
+
+        Deterministic: counters and histogram components are commutative
+        sums (min/max for the extremes), gauges keep the maximum, and keys
+        are visited in sorted order so registration order is stable too.
+        """
+        for name in sorted(snapshot.get("counters", {})):
+            self.counter(name).inc(int(snapshot["counters"][name]))
+        for name in sorted(snapshot.get("gauges", {})):
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, float(snapshot["gauges"][name])))
+        for name in sorted(snapshot.get("histograms", {})):
+            summary = snapshot["histograms"][name]
+            histogram = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count == 0:
+                continue
+            histogram.count += count
+            histogram.total += float(summary.get("total", 0.0))
+            histogram.minimum = min(histogram.minimum, float(summary["min"]))
+            histogram.maximum = max(histogram.maximum, float(summary["max"]))

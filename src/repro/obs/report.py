@@ -1,0 +1,109 @@
+"""Turn a raw event trace into per-phase summaries.
+
+:func:`summarize_trace` is the analysis half of ``repro trace summarize``:
+given the records of one JSONL trace (or an in-memory sink) it aggregates
+``span_close`` events into a per-phase wall-time / node-access table,
+collects the convergence staircase, and surfaces the final metric
+snapshot.  Pure dict-in/dict-out so tests and plotting scripts can reuse
+it without the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+__all__ = ["summarize_trace", "phase_rows"]
+
+
+def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Aggregate a sequence of event records into a summary dict.
+
+    Returns::
+
+        {
+          "events": <total records>,
+          "members": sorted member indices seen (empty for single-process),
+          "phases": {name: {"count", "elapsed", "node_reads"}},
+          "convergence": {"points", "final_violations", "final_similarity"}
+            or None,
+          "local_maxima": <count>, "restarts": <count>, "crossovers": <count>,
+          "metrics": last metric_snapshot payload or None,
+        }
+
+    ``node_reads`` per phase is ``None`` when no span of that name carried
+    an io probe, otherwise the sum over probed spans.
+    """
+    phases: dict[str, dict[str, Any]] = {}
+    members: set[int] = set()
+    metrics: Optional[dict[str, Any]] = None
+    convergence: Optional[dict[str, Any]] = None
+    points = 0
+    local_maxima = 0
+    restarts = 0
+    crossovers = 0
+    total = 0
+    for record in records:
+        total += 1
+        member = record.get("member")
+        if isinstance(member, int):
+            members.add(member)
+        event_type = record.get("type")
+        if event_type == "span_close":
+            name = str(record.get("name", ""))
+            phase = phases.get(name)
+            if phase is None:
+                phase = phases[name] = {
+                    "count": 0,
+                    "elapsed": 0.0,
+                    "node_reads": None,
+                }
+            phase["count"] += 1
+            phase["elapsed"] += float(record.get("elapsed", 0.0))
+            reads = record.get("node_reads")
+            if reads is not None:
+                phase["node_reads"] = (phase["node_reads"] or 0) + int(reads)
+        elif event_type == "convergence":
+            points += 1
+            convergence = {
+                "points": points,
+                "final_violations": record.get("violations"),
+                "final_similarity": record.get("similarity"),
+            }
+        elif event_type == "local_maximum":
+            local_maxima += 1
+        elif event_type == "restart":
+            restarts += 1
+        elif event_type == "crossover":
+            crossovers += 1
+        elif event_type == "metric_snapshot":
+            metrics = dict(record.get("metrics", {}))
+    return {
+        "events": total,
+        "members": sorted(members),
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "convergence": convergence,
+        "local_maxima": local_maxima,
+        "restarts": restarts,
+        "crossovers": crossovers,
+        "metrics": metrics,
+    }
+
+
+def phase_rows(summary: Mapping[str, Any]) -> list[list[Any]]:
+    """Flatten a summary's phase table into printable rows.
+
+    Columns: phase, count, total elapsed seconds, total node reads
+    (``"-"`` when the phase carried no io probe).
+    """
+    rows: list[list[Any]] = []
+    for name, phase in summary.get("phases", {}).items():
+        reads = phase.get("node_reads")
+        rows.append(
+            [
+                name,
+                phase.get("count", 0),
+                phase.get("elapsed", 0.0),
+                "-" if reads is None else reads,
+            ]
+        )
+    return rows

@@ -1,0 +1,144 @@
+"""Nestable timing spans emitting ``span_open``/``span_close`` events.
+
+A span brackets one phase of a run (``gils.climb``, ``sea.generation``,
+…); entering it emits ``span_open``, leaving it emits ``span_close`` with
+the wall time spent inside and — when an ``io`` probe is supplied — the
+number of index node reads performed while it was open.  Spans nest: each
+records its parent's id and depth, so a trace reconstructs the phase tree.
+
+Wall time comes from the observation's injectable
+:class:`~repro.core.budget.Stopwatch` (this module is on the RL002 clock
+allowlist but never reads a clock directly).  When observability is
+disabled the cached :data:`NULL_SPAN` is handed out instead — entering and
+leaving it does nothing, which is the <2 % no-op fast path the benchmarks
+guard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .names import check_span_name
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+#: callable emitting one event: (event type, payload fields)
+_Emit = Callable[..., None]
+
+
+class Span:
+    """One single-use timing bracket; create via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "_io",
+        "_id",
+        "_parent",
+        "_depth",
+        "_started_at",
+        "_io_start",
+        "elapsed",
+        "node_reads",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, io: Optional[Callable[[], int]]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._io = io
+        self._id = -1
+        self._parent: int | None = None
+        self._depth = 0
+        self._started_at = 0.0
+        self._io_start = 0
+        #: seconds spent inside the span (set on exit)
+        self.elapsed = 0.0
+        #: node reads performed inside the span (None without an io probe)
+        self.node_reads: int | None = None
+
+    def __enter__(self) -> "Span":
+        if self._id >= 0:
+            raise RuntimeError(f"span {self.name!r} is single-use")
+        tracer = self._tracer
+        self._id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self._id)
+        if self._io is not None:
+            self._io_start = self._io()
+        self._started_at = tracer._elapsed()
+        tracer._emit(
+            "span_open",
+            name=self.name,
+            span=self._id,
+            parent=self._parent,
+            depth=self._depth,
+        )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self._tracer
+        self.elapsed = tracer._elapsed() - self._started_at
+        if self._io is not None:
+            self.node_reads = self._io() - self._io_start
+        if tracer._stack and tracer._stack[-1] == self._id:
+            tracer._stack.pop()
+        tracer._emit(
+            "span_close",
+            name=self.name,
+            span=self._id,
+            elapsed=self.elapsed,
+            node_reads=self.node_reads,
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: entering/leaving costs two method calls."""
+
+    __slots__ = ()
+
+    name = ""
+    elapsed = 0.0
+    node_reads: int | None = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and nesting bookkeeper for :class:`Span` objects."""
+
+    __slots__ = ("_emit", "_elapsed", "_stack", "_next_id")
+
+    def __init__(self, emit: _Emit, elapsed: Callable[[], float]) -> None:
+        self._emit = emit
+        self._elapsed = elapsed
+        self._stack: list[int] = []
+        self._next_id = 0
+
+    def span(self, name: str, io: Optional[Callable[[], int]] = None) -> Span:
+        """A new span named ``name`` (validated against the registry).
+
+        ``io`` is an optional zero-argument probe returning a cumulative
+        node-read count; the span reports the probe's delta on close.
+        """
+        check_span_name(name)
+        return Span(self, name, io)
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (open spans)."""
+        return len(self._stack)
+
+    def payload(self) -> dict[str, Any]:  # pragma: no cover - debug aid
+        return {"open_spans": list(self._stack), "next_id": self._next_id}

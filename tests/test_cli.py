@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_trace, summarize_trace
 
 
 class TestParser:
@@ -92,6 +93,80 @@ class TestSolveCommand:
             capsys,
         )
         assert "two-step" in out
+
+
+class TestObservability:
+    def solve_with_trace(self, path, capsys, extra=()):
+        argv = [
+            "solve",
+            "--query", "chain",
+            "--variables", "4",
+            "--cardinality", "200",
+            "--algorithm", "gils",
+            "--seconds", "0.3",
+            "--trace", str(path),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_solve_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        out = self.solve_with_trace(path, capsys)
+        assert f"trace: {path}" in out
+        records = read_trace(str(path))  # validates every line
+        types = {record["type"] for record in records}
+        assert {"span_open", "span_close", "metric_snapshot"} <= types
+        summary = summarize_trace(records)
+        assert "solve.run" in summary["phases"]
+        assert "gils.run" in summary["phases"]
+
+    def test_solve_metrics_prints_counters(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        out = self.solve_with_trace(path, capsys, extra=["--metrics"])
+        assert "metrics" in out
+        assert "index.node_reads" in out
+
+    def test_solve_metrics_without_trace(self, capsys):
+        argv = [
+            "solve",
+            "--query", "clique",
+            "--variables", "3",
+            "--cardinality", "60",
+            "--algorithm", "ils",
+            "--seconds", "0.2",
+            "--metrics",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "similarity=" in out
+        assert "index.node_reads" in out
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self.solve_with_trace(
+            path, capsys, extra=["--restarts", "2", "--workers", "2"]
+        )
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "gils.run" in out
+        assert "node reads" in out
+        # two parallel members observed
+        assert "members" in out
+
+    def test_trace_validate_clean_and_broken(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self.solve_with_trace(path, capsys)
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+        broken = tmp_path / "broken.jsonl"
+        broken.write_text('{"v": 1, "type": "unknown_event", "ts": 0, "seq": 0}\n')
+        assert main(["trace", "validate", str(broken)]) == 1
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
 
 
 class TestFigureCommands:

@@ -1,0 +1,159 @@
+"""TreeStats snapshot/reset/diff contract and the module-level helpers.
+
+The observability layer absorbs ``TreeStats.snapshot()`` deltas as
+``index.*`` metrics, so the snapshot must be a detached plain-dict copy,
+``reset`` must zero *every* field (including ones added later), and the
+counters must actually move when a real R*-tree does work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import fields
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import RStarTree
+from repro.index.queries import nearest_neighbors, search
+from repro.index.stats import (
+    TreeStats,
+    index_work_since,
+    node_reads_probe,
+    snapshot_trees,
+)
+from repro.obs import METRIC_NAMES
+
+
+def populated_tree(count: int = 60, seed: int = 5) -> RStarTree:
+    rng = random.Random(seed)
+    tree = RStarTree()
+    for index in range(count):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        tree.insert(Rect(x, y, x + 1, y + 1), index)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# TreeStats dataclass contract
+# ----------------------------------------------------------------------
+def test_fresh_stats_are_zero():
+    stats = TreeStats()
+    assert all(value == 0 for value in stats.snapshot().values())
+
+
+def test_snapshot_covers_every_field_and_round_trips():
+    stats = TreeStats(
+        node_reads=10,
+        leaf_reads=4,
+        window_queries=3,
+        knn_queries=2,
+        best_value_searches=1,
+        splits=5,
+        reinserts=6,
+        inserts=7,
+        deletes=8,
+    )
+    snapshot = stats.snapshot()
+    assert set(snapshot) == {field.name for field in fields(TreeStats)}
+    assert TreeStats(**snapshot) == stats  # round-trip through the dict
+
+
+def test_snapshot_is_detached():
+    stats = TreeStats()
+    snapshot = stats.snapshot()
+    stats.node_reads += 99
+    assert snapshot["node_reads"] == 0
+
+
+def test_reset_zeroes_every_field():
+    stats = TreeStats(**{field.name: 3 for field in fields(TreeStats)})
+    stats.reset()
+    assert stats == TreeStats()
+
+
+def test_diff_subtracts_baseline_and_tolerates_missing_keys():
+    stats = TreeStats(node_reads=10, window_queries=4)
+    baseline = {"node_reads": 3}  # old snapshot without the other fields
+    delta = stats.diff(baseline)
+    assert delta["node_reads"] == 7
+    assert delta["window_queries"] == 4
+    assert set(delta) == {field.name for field in fields(TreeStats)}
+
+
+def test_every_field_is_a_registered_index_metric():
+    """``index.<field>`` must exist in the obs vocabulary for absorption."""
+    for field in fields(TreeStats):
+        assert f"index.{field.name}" in METRIC_NAMES
+
+
+# ----------------------------------------------------------------------
+# counters move under real tree work
+# ----------------------------------------------------------------------
+def test_insert_delete_and_query_counters_move():
+    tree = populated_tree()
+    stats = tree.stats
+    assert stats.inserts == 60
+    assert stats.splits > 0  # 60 entries force at least one split
+
+    before = stats.snapshot()
+    list(search(tree, Rect(0, 0, 50, 50)))
+    assert stats.window_queries == before["window_queries"] + 1
+    assert stats.node_reads > before["node_reads"]
+
+    nearest_neighbors(tree, 10.0, 10.0, k=3)
+    assert stats.knn_queries == before["knn_queries"] + 1
+
+    rect, item = next(iter(tree.items()))
+    tree.delete(rect, item)
+    assert stats.deletes == before["deletes"] + 1
+
+
+def test_knn_counted_even_on_empty_tree():
+    tree = RStarTree()
+    assert nearest_neighbors(tree, 0.0, 0.0, k=2) == []
+    assert tree.stats.knn_queries == 1
+
+
+# ----------------------------------------------------------------------
+# module helpers
+# ----------------------------------------------------------------------
+def test_snapshot_trees_and_index_work_since():
+    trees = [populated_tree(seed=1), populated_tree(seed=2)]
+    baselines = snapshot_trees(trees)
+    assert len(baselines) == 2
+
+    list(search(trees[0], Rect(0, 0, 30, 30)))
+    list(search(trees[1], Rect(0, 0, 30, 30)))
+    list(search(trees[1], Rect(50, 50, 90, 90)))
+
+    delta = index_work_since(trees, baselines)
+    assert delta["window_queries"] == 3
+    assert delta["node_reads"] > 0
+    assert delta["inserts"] == 0  # pre-baseline work excluded
+
+
+def test_node_reads_probe_sums_cumulative_reads():
+    trees = [populated_tree(seed=3), populated_tree(seed=4)]
+    probe = node_reads_probe(trees)
+    start = probe()
+    assert start == sum(tree.stats.node_reads for tree in trees)
+    list(search(trees[0], Rect(0, 0, 40, 40)))
+    assert probe() > start
+
+
+def test_index_work_since_respects_per_tree_baselines():
+    tree = populated_tree(seed=6)
+    list(search(tree, Rect(0, 0, 10, 10)))  # pre-baseline
+    baselines = snapshot_trees([tree])
+    list(search(tree, Rect(0, 0, 10, 10)))
+    delta = index_work_since([tree], baselines)
+    assert delta["window_queries"] == 1
+
+
+def test_reset_then_snapshot_matches_fresh():
+    tree = populated_tree(seed=7)
+    tree.stats.reset()
+    assert tree.stats.snapshot() == TreeStats().snapshot()
+    with pytest.raises(TypeError):
+        TreeStats(nonexistent_counter=1)  # schema is closed

@@ -1,4 +1,4 @@
-"""Fixture tests for the repro-lint checker suite (rules RL001–RL005).
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL006).
 
 Each rule gets one known-good and one known-bad snippet; the suite also
 covers suppressions, the JSON report round-trip, the CLI exit contract,
@@ -38,8 +38,10 @@ def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
     return lint_source(source, path=path, **kwargs)
 
 
-def test_all_five_rules_registered():
-    assert set(all_checkers()) >= {"RL001", "RL002", "RL003", "RL004", "RL005"}
+def test_all_six_rules_registered():
+    assert set(all_checkers()) >= {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"
+    }
 
 
 # ----------------------------------------------------------------------
@@ -113,7 +115,12 @@ def test_rl002_bad():
 
 
 @pytest.mark.parametrize(
-    "path", ["src/repro/core/budget.py", "benchmarks/bench_x.py"]
+    "path",
+    [
+        "src/repro/core/budget.py",
+        "benchmarks/bench_x.py",
+        "src/repro/obs/events.py",
+    ],
 )
 def test_rl002_sanctioned_locations(path):
     assert not lint(RL002_BAD, path=path, select=["RL002"])
@@ -284,6 +291,99 @@ def test_rl005_only_applies_to_core():
 
 
 # ----------------------------------------------------------------------
+# RL006 — observability name discipline
+# ----------------------------------------------------------------------
+RL006_GOOD = """
+from ..obs import current
+
+def climb(evaluator):
+    obs = current()
+    with obs.span("gils.climb"):
+        obs.counter("gils.local_maxima").inc()
+"""
+
+RL006_COMPUTED = """
+from ..obs import current
+
+def bump(kind):
+    current().counter("gils." + kind).inc()
+"""
+
+RL006_MALFORMED = """
+from ..obs import current
+
+def bump():
+    current().counter("GILS.LocalMaxima").inc()
+    current().gauge("flat").set(1.0)
+"""
+
+RL006_UNREGISTERED = """
+from ..obs import current
+
+def bump():
+    current().histogram("gils.freestyle_metric").observe(1.0)
+"""
+
+
+def context_with_obs_names(*names: str) -> AnalysisContext:
+    return AnalysisContext(root=REPO_ROOT, obs_names=frozenset(names))
+
+
+def test_rl006_good():
+    findings = lint(
+        RL006_GOOD,
+        select=["RL006"],
+        context=context_with_obs_names("gils.climb", "gils.local_maxima"),
+    )
+    assert not findings
+
+
+def test_rl006_computed_name():
+    findings = lint(RL006_COMPUTED, select=["RL006"])
+    assert len(findings) == 1
+    assert "string literal" in findings[0].message
+
+
+def test_rl006_malformed_names():
+    findings = lint(RL006_MALFORMED, select=["RL006"])
+    assert len(findings) == 2
+    assert all("dotted-lowercase" in f.message for f in findings)
+
+
+def test_rl006_unregistered_name():
+    findings = lint(
+        RL006_UNREGISTERED,
+        select=["RL006"],
+        context=context_with_obs_names("gils.climb"),
+    )
+    assert len(findings) == 1
+    assert "not registered" in findings[0].message
+
+
+def test_rl006_registry_skipped_when_missing():
+    findings = lint(
+        RL006_UNREGISTERED,
+        select=["RL006"],
+        context=AnalysisContext(root=REPO_ROOT, obs_names=None),
+    )
+    assert not findings
+
+
+@pytest.mark.parametrize(
+    "path", ["src/repro/obs/metrics.py", "tests/test_obs.py"]
+)
+def test_rl006_exempt_locations(path):
+    assert not lint(RL006_COMPUTED, path=path, select=["RL006"])
+
+
+def test_rl006_registry_loaded_from_root():
+    context = AnalysisContext.from_root(REPO_ROOT)
+    assert context.obs_names is not None
+    assert "gils.climb" in context.obs_names
+    assert "index.node_reads" in context.obs_names
+
+
+# ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
 def test_line_suppression():
@@ -384,7 +484,7 @@ def test_cli_json_round_trips(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
         assert rule in out
 
 

@@ -1,0 +1,529 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`).
+
+Covers the name registry, metrics (including deterministic merge), spans
+under a fake clock, event validation, both sinks, activation scoping, the
+convergence-trace adapter, and the disabled fast path.  All timing flows
+through injected fake clocks — no test here reads a real clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.result import ConvergenceTrace
+from repro.obs import (
+    EVENT_TYPES,
+    METRIC_NAMES,
+    NOOP,
+    NULL_COUNTER,
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    SPAN_NAMES,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Observation,
+    Tracer,
+    activate,
+    check_metric_name,
+    check_span_name,
+    collect_exports,
+    current,
+    export_state,
+    merge_states,
+    observe,
+    phase_rows,
+    read_trace,
+    replay_into,
+    summarize_trace,
+    validate_event,
+)
+
+
+class FakeClock:
+    """Injectable stopwatch double: ``elapsed`` returns controlled time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def elapsed(self) -> float:
+        return self.now
+
+
+def fresh_observation() -> tuple[Observation, MemorySink, FakeClock]:
+    clock = FakeClock()
+    sink = MemorySink()
+    return Observation(sink=sink, stopwatch=clock), sink, clock
+
+
+# ----------------------------------------------------------------------
+# names
+# ----------------------------------------------------------------------
+def test_registered_names_are_well_formed():
+    for name in SPAN_NAMES:
+        check_span_name(name)
+    for name in METRIC_NAMES:
+        check_metric_name(name)
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "flat", "Upper.case", "gils.", ".climb", "gils..climb", "a.1b"]
+)
+def test_malformed_names_rejected(bad):
+    with pytest.raises(ValueError):
+        check_span_name(bad)
+    with pytest.raises(ValueError):
+        check_metric_name(bad)
+
+
+def test_unregistered_dotted_name_rejected():
+    with pytest.raises(ValueError, match="unregistered"):
+        check_span_name("gils.freestyle")
+    with pytest.raises(ValueError, match="unregistered"):
+        check_metric_name("gils.freestyle")
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("ils.restarts")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.counter("ils.restarts") is counter  # get-or-create
+
+    gauge = registry.gauge("parallel.members")
+    gauge.set(3)
+    assert gauge.value == 3.0
+
+    histogram = registry.histogram("eval.batch_rows")
+    for value in (2.0, 8.0, 5.0):
+        histogram.observe(value)
+    assert histogram.summary() == {"count": 3, "total": 15.0, "min": 2.0, "max": 8.0}
+
+
+def test_empty_histogram_summary_is_zeroed():
+    registry = MetricsRegistry()
+    assert registry.histogram("eval.batch_rows").summary() == {
+        "count": 0,
+        "total": 0.0,
+        "min": 0.0,
+        "max": 0.0,
+    }
+
+
+def test_metric_name_validated_on_creation():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("NotRegistered")
+
+
+def test_snapshot_is_sorted_and_plain():
+    registry = MetricsRegistry()
+    registry.counter("ils.restarts").inc(2)
+    registry.counter("gils.local_maxima").inc(7)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["gils.local_maxima", "ils.restarts"]
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_merge_is_deterministic_and_commutative():
+    def build(counter_value, gauge_value, observations):
+        registry = MetricsRegistry()
+        registry.counter("ils.restarts").inc(counter_value)
+        registry.gauge("parallel.members").set(gauge_value)
+        for value in observations:
+            registry.histogram("eval.batch_rows").observe(value)
+        return registry.snapshot()
+
+    first = build(3, 2.0, [1.0, 9.0])
+    second = build(5, 4.0, [4.0])
+
+    merged_ab = MetricsRegistry()
+    merged_ab.merge(first)
+    merged_ab.merge(second)
+    merged_ba = MetricsRegistry()
+    merged_ba.merge(second)
+    merged_ba.merge(first)
+
+    assert merged_ab.snapshot() == merged_ba.snapshot()
+    snapshot = merged_ab.snapshot()
+    assert snapshot["counters"]["ils.restarts"] == 8
+    assert snapshot["gauges"]["parallel.members"] == 4.0  # max wins
+    assert snapshot["histograms"]["eval.batch_rows"] == {
+        "count": 3,
+        "total": 14.0,
+        "min": 1.0,
+        "max": 9.0,
+    }
+
+
+def test_merge_skips_empty_histograms():
+    registry = MetricsRegistry()
+    registry.histogram("eval.batch_rows")  # created, never observed
+    target = MetricsRegistry()
+    target.merge(registry.snapshot())
+    assert target.histogram("eval.batch_rows").count == 0
+    assert target.histogram("eval.batch_rows").minimum == float("inf")
+
+
+def test_absorb_index_work_prefixes_and_skips_zeros():
+    registry = MetricsRegistry()
+    registry.absorb_index_work({"node_reads": 10, "splits": 0, "inserts": 2})
+    snapshot = registry.snapshot()["counters"]
+    assert snapshot == {"index.inserts": 2, "index.node_reads": 10}
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+def test_span_nesting_ids_depth_and_timing():
+    observation, sink, clock = fresh_observation()
+    with observation.span("gils.run") as outer:
+        clock.advance(1.0)
+        with observation.span("gils.climb") as inner:
+            clock.advance(0.25)
+        clock.advance(0.5)
+    assert outer.elapsed == pytest.approx(1.75)
+    assert inner.elapsed == pytest.approx(0.25)
+
+    opens = [r for r in sink.records if r["type"] == "span_open"]
+    closes = [r for r in sink.records if r["type"] == "span_close"]
+    assert [(r["name"], r["span"], r["parent"], r["depth"]) for r in opens] == [
+        ("gils.run", 0, None, 0),
+        ("gils.climb", 1, 0, 1),
+    ]
+    # inner closes first
+    assert [r["name"] for r in closes] == ["gils.climb", "gils.run"]
+
+
+def test_span_io_probe_reports_delta():
+    observation, sink, _clock = fresh_observation()
+    reads = [100]
+    with observation.span("ils.climb", io=lambda: reads[0]) as span:
+        reads[0] += 42
+    assert span.node_reads == 42
+    close = sink.records[-1]
+    assert close["node_reads"] == 42
+
+
+def test_span_without_probe_reports_none():
+    observation, sink, _clock = fresh_observation()
+    with observation.span("ils.seed") as span:
+        pass
+    assert span.node_reads is None
+    assert sink.records[-1]["node_reads"] is None
+
+
+def test_span_is_single_use():
+    observation, _sink, _clock = fresh_observation()
+    span = observation.span("ils.run")
+    with span:
+        pass
+    with pytest.raises(RuntimeError, match="single-use"):
+        span.__enter__()
+
+
+def test_span_name_validated():
+    observation, _sink, _clock = fresh_observation()
+    with pytest.raises(ValueError):
+        observation.span("not.a.registered.span")
+
+
+def test_tracer_depth_tracks_open_spans():
+    clock = FakeClock()
+    tracer = Tracer(lambda *a, **k: None, clock.elapsed)
+    assert tracer.depth == 0
+    with tracer.span("gils.run"):
+        assert tracer.depth == 1
+        with tracer.span("gils.climb"):
+            assert tracer.depth == 2
+    assert tracer.depth == 0
+
+
+# ----------------------------------------------------------------------
+# events and sinks
+# ----------------------------------------------------------------------
+def test_event_records_carry_base_fields_and_validate():
+    observation, sink, clock = fresh_observation()
+    clock.advance(0.5)
+    observation.event("restart", index=0)
+    observation.event("local_maximum", violations=3)
+    observation.emit_metrics()
+    for record in sink.records:
+        assert validate_event(record) is record
+    assert sink.records[0] == {
+        "v": SCHEMA_VERSION,
+        "type": "restart",
+        "ts": 0.5,
+        "seq": 0,
+        "index": 0,
+    }
+    assert [r["seq"] for r in sink.records] == [0, 1, 2]
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        "not a dict",
+        {"v": 99, "type": "restart", "ts": 0.0, "seq": 0, "index": 0},
+        {"v": 1, "type": "unknown_event", "ts": 0.0, "seq": 0},
+        {"v": 1, "type": "restart", "ts": 0.0, "seq": 0},  # missing index
+        {"v": 1, "type": "restart", "ts": 0.0, "seq": 0, "index": True},  # bool
+        {"v": 1, "type": "restart", "ts": 0.0, "seq": 0, "index": 0, "member": "x"},
+    ],
+)
+def test_validate_event_rejects(record):
+    with pytest.raises(ValueError):
+        validate_event(record)
+
+
+def test_validate_event_allows_extra_fields():
+    validate_event(
+        {
+            "v": 1,
+            "type": "crossover",
+            "ts": 0.0,
+            "seq": 0,
+            "generation": 2,
+            "point": 3,
+            "count": 4,  # extra field: forward compatible
+        }
+    )
+
+
+def test_event_types_cover_the_documented_vocabulary():
+    assert EVENT_TYPES == {
+        "span_open",
+        "span_close",
+        "metric_snapshot",
+        "convergence",
+        "local_maximum",
+        "restart",
+        "crossover",
+    }
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    clock = FakeClock()
+    with JsonlSink(str(path), buffer_size=2) as sink:
+        observation = Observation(sink=sink, stopwatch=clock)
+        for index in range(5):
+            observation.event("restart", index=index)
+    records = read_trace(str(path))
+    assert [r["index"] for r in records] == [0, 1, 2, 3, 4]
+    assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+
+
+def test_jsonl_sink_serializes_at_emit_time(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(str(path))
+    record = {"v": 1, "type": "restart", "ts": 0.0, "index": 0}
+    sink.emit(record)
+    record["index"] = 999  # later mutation must not corrupt the trace
+    sink.close()
+    assert read_trace(str(path))[0]["index"] == 0
+
+
+def test_read_trace_reports_line_numbers(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    good = json.dumps({"v": 1, "type": "restart", "ts": 0.0, "seq": 0, "index": 0})
+    path.write_text(good + "\n{not json\n")
+    with pytest.raises(ValueError, match=r"broken\.jsonl:2"):
+        read_trace(str(path))
+
+
+def test_read_trace_flags_schema_violations(tmp_path):
+    path = tmp_path / "invalid.jsonl"
+    path.write_text(json.dumps({"v": 1, "type": "restart", "ts": 0.0, "seq": 0}) + "\n")
+    with pytest.raises(ValueError, match=r"invalid\.jsonl:1"):
+        read_trace(str(path))
+    assert read_trace(str(path), validate=False)
+
+
+# ----------------------------------------------------------------------
+# activation
+# ----------------------------------------------------------------------
+def test_current_defaults_to_noop():
+    assert current() is NOOP
+    assert not current().enabled
+
+
+def test_observe_installs_and_restores():
+    assert current() is NOOP
+    with observe() as observation:
+        assert current() is observation
+        assert observation.enabled
+        with observe(Observation()) as nested:
+            assert current() is nested
+        assert current() is observation
+    assert current() is NOOP
+
+
+def test_observe_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with observe():
+            raise RuntimeError("boom")
+    assert current() is NOOP
+
+
+def test_activate_returns_previous():
+    observation = Observation()
+    previous = activate(observation)
+    try:
+        assert previous is NOOP
+        assert current() is observation
+    finally:
+        activate(previous)
+    assert current() is NOOP
+
+
+# ----------------------------------------------------------------------
+# disabled fast path
+# ----------------------------------------------------------------------
+def test_noop_observation_hands_out_shared_nulls():
+    assert NOOP.span("gils.run") is NULL_SPAN
+    assert NOOP.counter("ils.restarts") is NULL_COUNTER
+    with NOOP.span("gils.run") as span:
+        assert span.elapsed == 0.0
+        assert span.node_reads is None
+    NOOP.counter("ils.restarts").inc(5)  # all no-ops
+    NOOP.gauge("parallel.members").set(1.0)
+    NOOP.histogram("eval.batch_rows").observe(2.0)
+    NOOP.event("restart", index=0)
+    NOOP.emit_metrics()
+
+
+def test_noop_convergence_trace_is_plain():
+    trace = NOOP.convergence_trace()
+    assert type(trace) is ConvergenceTrace
+    trace.record(0.1, 1, 2, 0.5)
+    assert len(trace.points) == 1
+
+
+# ----------------------------------------------------------------------
+# convergence-trace adapter
+# ----------------------------------------------------------------------
+def test_emitting_trace_records_and_emits():
+    observation, sink, _clock = fresh_observation()
+    trace = observation.convergence_trace()
+    assert isinstance(trace, ConvergenceTrace)
+    trace.record(0.1, 10, 4, 0.25)
+    trace.record(0.2, 20, 2, 0.75)
+    assert len(trace.points) == 2
+    events = [r for r in sink.records if r["type"] == "convergence"]
+    assert [e["violations"] for e in events] == [4, 2]
+    assert [e["similarity"] for e in events] == [0.25, 0.75]
+    for event in events:
+        validate_event(event)
+
+
+def test_emitting_trace_pickles_to_plain_trace():
+    observation, _sink, _clock = fresh_observation()
+    trace = observation.convergence_trace()
+    trace.record(0.1, 10, 4, 0.25)
+    clone = pickle.loads(pickle.dumps(trace))
+    assert type(clone) is ConvergenceTrace
+    assert [p.similarity for p in clone.points] == [0.25]
+
+
+# ----------------------------------------------------------------------
+# cross-process aggregation
+# ----------------------------------------------------------------------
+def worker_payload(restarts: int, reads: int) -> dict:
+    observation, _sink, clock = fresh_observation()
+    with observation.span("ils.run"):
+        clock.advance(0.1)
+        observation.event("restart", index=0)
+    observation.counter("ils.restarts").inc(restarts)
+    observation.absorb_index_work({"node_reads": reads})
+    return export_state(observation)
+
+
+def test_export_state_is_pickle_and_json_safe():
+    payload = worker_payload(2, 30)
+    assert payload["v"] == SCHEMA_VERSION
+    assert json.loads(json.dumps(payload)) == payload
+    assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+def test_merge_states_orders_by_member_and_tags_events():
+    merged = merge_states([worker_payload(1, 10), None, worker_payload(2, 20)])
+    assert merged["members"] == [0, 2]
+    assert merged["metrics"]["counters"]["ils.restarts"] == 3
+    assert merged["metrics"]["counters"]["index.node_reads"] == 30
+    members_in_order = [r["member"] for r in merged["events"]]
+    assert members_in_order == sorted(members_in_order)
+    assert set(members_in_order) == {0, 2}
+    for record in merged["events"]:
+        validate_event(record)
+
+
+def test_merge_states_is_independent_of_completion_order():
+    first, second = worker_payload(1, 10), worker_payload(2, 20)
+    assert merge_states([first, second])["metrics"] == (
+        merge_states([second, first])["metrics"]
+    )
+
+
+def test_replay_into_re_emits_with_fresh_seq():
+    merged = merge_states([worker_payload(1, 10)])
+    parent, sink, _clock = fresh_observation()
+    parent.event("restart", index=0)  # seq 0 taken before replay
+    replay_into(parent, merged)
+    assert [r["seq"] for r in sink.records] == list(range(len(sink.records)))
+    assert parent.registry.counter("ils.restarts").value == 1
+    assert any(r.get("member") == 0 for r in sink.records)
+
+
+def test_collect_exports_pops_payloads_in_place():
+    stats = [{"obs": {"v": 1}, "kept": True}, {"kept": True}, None]
+    payloads = collect_exports(stats)
+    assert payloads == [{"v": 1}, None, None]
+    assert stats[0] == {"kept": True}  # payload removed, rest intact
+
+
+# ----------------------------------------------------------------------
+# trace summaries
+# ----------------------------------------------------------------------
+def test_summarize_trace_and_phase_rows():
+    observation, sink, clock = fresh_observation()
+    reads = [0]
+    with observation.span("gils.run", io=lambda: reads[0]):
+        with observation.span("gils.seed"):
+            clock.advance(0.1)
+        with observation.span("gils.climb", io=lambda: reads[0]):
+            clock.advance(0.4)
+            reads[0] += 25
+        observation.event("local_maximum", violations=1)
+        trace = observation.convergence_trace()
+        trace.record(0.5, 10, 1, 0.9)
+    observation.emit_metrics()
+
+    summary = summarize_trace(sink.records)
+    assert summary["events"] == len(sink.records)
+    assert summary["members"] == []
+    assert summary["phases"]["gils.run"]["node_reads"] == 25
+    assert summary["phases"]["gils.seed"]["node_reads"] is None
+    assert summary["phases"]["gils.climb"]["elapsed"] == pytest.approx(0.4)
+    assert summary["convergence"] == {
+        "points": 1,
+        "final_violations": 1,
+        "final_similarity": 0.9,
+    }
+    assert summary["local_maxima"] == 1
+    assert summary["metrics"] is not None
+
+    rows = phase_rows(summary)
+    by_name = {row[0]: row for row in rows}
+    assert by_name["gils.seed"][3] == "-"
+    assert by_name["gils.climb"][3] == 25

@@ -9,12 +9,20 @@ completion order.
 from __future__ import annotations
 
 import random
+from types import SimpleNamespace
 
 import pytest
 
 from repro import Budget, QueryGraph, hard_instance, parallel_restarts
 from repro.core import portfolio_search
-from repro.core.parallel import RunSpec, default_workers, derive_seed, run_specs
+from repro.core.parallel import (
+    RunSpec,
+    _merge_concurrent_traces,
+    default_workers,
+    derive_seed,
+    run_specs,
+)
+from repro.core.result import ConvergenceTrace
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +100,87 @@ def test_parallel_restarts_result_shape(instance):
     violations = [point.violations for point in result.trace.points]
     assert violations == sorted(violations, reverse=True)
     assert len(set(violations)) == len(violations)
+
+
+def test_member_stats_include_tree_work(instance):
+    """Every member digest carries a TreeStats snapshot of its index work."""
+    result = parallel_restarts(
+        instance, Budget.iterations(25), seed=9, heuristic="gils", restarts=3,
+        workers=1,
+    )
+    for member in result.stats["members"]:
+        index_work = member["index"]
+        assert isinstance(index_work, dict)
+        assert index_work["node_reads"] > 0
+        # full TreeStats vocabulary present, all non-negative
+        for key in ("leaf_reads", "window_queries", "best_value_searches",
+                    "splits", "inserts", "deletes"):
+            assert index_work[key] >= 0
+
+
+# ----------------------------------------------------------------------
+# monotone-staircase trace merge
+# ----------------------------------------------------------------------
+def trace_result(points):
+    """Fake member result: ``_merge_concurrent_traces`` reads only ``.trace``."""
+    trace = ConvergenceTrace()
+    for elapsed, iterations, violations, similarity in points:
+        trace.record(elapsed, iterations, violations, similarity)
+    return SimpleNamespace(trace=trace)
+
+
+def test_merged_trace_is_monotone_staircase():
+    """Interleaved member points merge into one improving staircase."""
+    members = [
+        trace_result([(0.1, 1, 5, 0.2), (0.5, 5, 2, 0.7), (0.9, 9, 2, 0.7)]),
+        trace_result([(0.2, 2, 4, 0.4), (0.6, 6, 3, 0.6)]),
+        trace_result([(0.3, 3, 6, 0.1)]),  # never improves on the others
+    ]
+    merged = _merge_concurrent_traces(members)
+    violations = [point.violations for point in merged.points]
+    similarities = [point.similarity for point in merged.points]
+    elapsed = [point.elapsed for point in merged.points]
+    assert violations == [5, 4, 2]  # strictly improving
+    assert similarities == sorted(similarities)  # non-decreasing similarity
+    assert elapsed == sorted(elapsed)
+
+
+def test_merged_trace_covers_every_members_final_point():
+    members = [
+        trace_result([(0.1, 1, 6, 0.2), (0.8, 8, 1, 0.9)]),
+        trace_result([(0.2, 2, 3, 0.5)]),
+        trace_result([(0.4, 4, 4, 0.4)]),
+    ]
+    merged = _merge_concurrent_traces(members)
+    for member in members:
+        final = member.trace.points[-1]
+        # by the member's final timestamp the merged staircase is at least
+        # as good as that member ever got
+        assert merged.similarity_at(final.elapsed) >= final.similarity
+
+
+def test_merged_trace_ties_resolved_by_violations_at_same_time():
+    members = [
+        trace_result([(0.5, 5, 2, 0.7)]),
+        trace_result([(0.5, 5, 4, 0.4)]),
+    ]
+    merged = _merge_concurrent_traces(members)
+    # the better simultaneous point wins; the worse one never appears
+    assert [point.violations for point in merged.points] == [2]
+
+
+def test_merged_trace_from_real_runs_is_staircase(instance):
+    result = parallel_restarts(
+        instance, Budget.iterations(40), seed=2, heuristic="ils", restarts=3,
+        workers=1,
+    )
+    points = result.trace.points
+    similarities = [point.similarity for point in points]
+    violations = [point.violations for point in points]
+    assert similarities == sorted(similarities)
+    assert violations == sorted(violations, reverse=True)
+    # the staircase bottoms out at the winner's best
+    assert points[-1].violations == result.best_violations
 
 
 def test_parallel_restarts_rejects_bad_restarts(instance):
