@@ -1,0 +1,183 @@
+"""Service bench — request latency, cache hits and shed behaviour.
+
+Measures the query service end to end over a loopback socket, the way a
+client experiences it:
+
+* **cold solve** — the first request after server start (worker pool
+  loads the dataset, cache empty);
+* **warm solve** — repeated solves with caching off (worker datasets hot:
+  the number is solve time plus dispatch overhead, best-of-N);
+* **cache hit** — the identical request with caching on (the full
+  round-trip must be orders of magnitude below a solve);
+* **overload** — a burst against ``max_pending=1``: how many requests
+  were shed with the structured retryable error versus served.
+
+Results land in ``BENCH_service.json``.  The assertions are lenient
+(loopback latency on a loaded CI box is noisy); the JSON history is the
+regression tripwire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import QueryGraph, hard_instance
+from repro.bench import format_table, write_json
+from repro.query.io import save_instance
+from repro.service import DatasetRegistry, JoinClient, JoinServer
+
+_RESULTS: list[dict] = []
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_service.json")
+
+
+def _run_server(server: JoinServer) -> threading.Thread:
+    started = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            await server.start()
+            started.set()
+            try:
+                await server.wait_for_shutdown()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(60), "bench server never started"
+    return thread
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    yield
+    if not _RESULTS:
+        return
+    rows = [[r["section"], r["value"], r["unit"]] for r in _RESULTS]
+    record_table(
+        format_table(
+            "Service bench — request latency and shed behaviour",
+            ["section", "value", "unit"],
+            rows,
+            precision=5,
+        )
+    )
+    write_json(_JSON_PATH, {"sections": _RESULTS})
+
+
+def _record(section: str, value: float, unit: str) -> None:
+    _RESULTS.append({"section": section, "value": value, "unit": unit})
+
+
+def test_request_latency_and_cache():
+    iterations = scaled_int(2_000)
+    cardinality = scaled_int(300, minimum=60)
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = os.path.join(scratch, "bench")
+        save_instance(
+            hard_instance(QueryGraph.chain(3), cardinality=cardinality, seed=5),
+            directory,
+        )
+        registry = DatasetRegistry()
+        registry.register_instance_dir("bench", directory)
+        server = JoinServer(registry, port=0, workers=2, executor="process")
+        thread = _run_server(server)
+        try:
+            with JoinClient(*server.address) as client:
+                fields = dict(
+                    instance="bench", deadline=30.0, max_iterations=iterations
+                )
+                started = time.perf_counter()
+                cold = client.solve(seed=0, cache=False, **fields)
+                cold_s = time.perf_counter() - started
+                assert cold["exact"] != cold["approximate"]
+
+                warm_s = _best_of(
+                    lambda: client.solve(seed=0, cache=False, **fields), repeats=5
+                )
+                client.solve(seed=0, **fields)  # populate the cache
+                hit_s = _best_of(
+                    lambda: client.solve(seed=0, **fields), repeats=5
+                )
+                assert client.solve(seed=0, **fields)["cached"] is True
+        finally:
+            with JoinClient(*server.address) as shutdown_client:
+                shutdown_client.shutdown()
+            thread.join(timeout=60)
+    _record("cold_solve", cold_s, "s")
+    _record("warm_solve", warm_s, "s")
+    _record("cache_hit", hit_s, "s")
+    assert hit_s < warm_s, "a cache hit must undercut a re-solve"
+
+
+def test_overload_shedding():
+    cardinality = scaled_int(200, minimum=60)
+    registry = DatasetRegistry()
+    from repro.query.hardness import ProblemInstance
+    from repro.data import SpatialDataset
+    from repro import Rect
+
+    # disjoint datasets: no exact solution, so the blocker runs its full
+    # deadline and deterministically occupies the single admission slot
+    left = SpatialDataset(
+        [Rect(x, 0.0, x + 0.5, 0.5) for x in range(cardinality)], name="left"
+    )
+    right = SpatialDataset(
+        [Rect(x, 100.0, x + 0.5, 100.5) for x in range(cardinality)], name="right"
+    )
+    registry.register_instance(
+        "disjoint", ProblemInstance(query=QueryGraph.chain(2), datasets=[left, right])
+    )
+    server = JoinServer(
+        registry, port=0, workers=1, executor="thread", max_pending=1
+    )
+    thread = _run_server(server)
+    served = 0
+    shed = 0
+    try:
+        def blocker() -> None:
+            with JoinClient(*server.address) as client:
+                client.solve(instance="disjoint", deadline=1.0, cache=False)
+
+        holding = threading.Thread(target=blocker)
+        holding.start()
+        while server.admission.pending < 1:
+            time.sleep(0.005)
+        with JoinClient(*server.address) as client:
+            for _ in range(8):
+                response = client.solve(
+                    instance="disjoint", deadline=1.0, cache=False, check=False
+                )
+                if response["status"] == "ok":
+                    served += 1
+                else:
+                    assert response["error"]["code"] == "overloaded"
+                    assert response["error"]["retryable"] is True
+                    shed += 1
+        holding.join(timeout=30)
+    finally:
+        with JoinClient(*server.address) as shutdown_client:
+            shutdown_client.shutdown()
+        thread.join(timeout=60)
+    _record("burst_served", float(served), "requests")
+    _record("burst_shed", float(shed), "requests")
+    assert shed >= 1, "a burst beyond max_pending must shed"

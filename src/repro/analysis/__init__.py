@@ -3,7 +3,7 @@
 The framework (:mod:`repro.analysis.framework`) parses each source file
 once and dispatches to registered :class:`~repro.analysis.framework.Checker`
 subclasses; the project's invariants live in :mod:`repro.analysis.rules`
-(RL001–RL005) and the console entry point in :mod:`repro.analysis.cli`.
+(RL001–RL007) and the console entry point in :mod:`repro.analysis.cli`.
 """
 
 from .framework import (
@@ -19,7 +19,7 @@ from .framework import (
     render_json,
     render_text,
 )
-from . import rules  # noqa: F401  (side effect: registers RL001-RL005)
+from . import rules  # noqa: F401  (side effect: registers RL001-RL007)
 
 __all__ = [
     "AnalysisContext",

@@ -1,4 +1,4 @@
-"""The repro project's invariant checkers (rules RL001–RL006).
+"""The repro project's invariant checkers (rules RL001–RL007).
 
 Each rule encodes one convention the engine's correctness or
 reproducibility depends on; see ``docs/static-analysis.md`` for the full
@@ -14,6 +14,8 @@ RL004             ``use_kernels`` entry points without a scalar twin or
 RL005             search loops in ``core/`` bypassing :class:`Budget`
 RL006             span/metric names that are not dotted-lowercase
                   literals registered in ``obs/names.py``
+RL007             solver invocations in ``service/`` that bypass the
+                  deadline :class:`Budget` machinery
 ================  ====================================================
 """
 
@@ -32,6 +34,7 @@ __all__ = [
     "KernelParity",
     "BudgetDiscipline",
     "ObservabilityNames",
+    "ServiceBudgetDiscipline",
 ]
 
 
@@ -637,3 +640,71 @@ class ObservabilityNames(Checker):
                     hint=f"add {name!r} to the SPAN_NAMES/METRIC_NAMES "
                     f"registry in {self.REGISTRY_FILE}",
                 )
+
+
+# ----------------------------------------------------------------------
+# RL007 — service budget discipline
+# ----------------------------------------------------------------------
+@register
+class ServiceBudgetDiscipline(Checker):
+    """Every solver invocation inside ``service/`` consumes a :class:`Budget`.
+
+    The service's whole contract is *an answer by the deadline*: a request's
+    clamped deadline becomes a :class:`~repro.core.budget.Budget` (via the
+    admission ticket) and rides into the worker's solver call.  A solver
+    invoked from the service layer without a budget argument runs unbounded
+    — one such call wedges a pool worker for as long as the search feels
+    like running, starving every queued request behind it.  RL007 therefore
+    requires each call to a search entry point inside ``service/`` to pass
+    an argument whose name mentions ``budget`` (a ``Budget`` value, a
+    ``ticket.budget(...)`` product, or a ``Budget(...)`` construction).
+    """
+
+    rule = "RL007"
+    description = "service/ solver calls must pass a deadline-derived Budget"
+
+    #: the engine's search entry points (anything that can run long)
+    SOLVER_ENTRY_POINTS = frozenset(
+        {
+            "parallel_restarts",
+            "portfolio_search",
+            "indexed_local_search",
+            "guided_indexed_local_search",
+            "spatial_evolutionary_algorithm",
+            "indexed_simulated_annealing",
+            "indexed_branch_and_bound",
+            "two_step",
+        }
+    )
+
+    def applies(self, module: Module) -> bool:
+        return not _in_tests(module) and module.in_directory("service")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _dotted(node.func)
+            if callee is None or callee.rsplit(".", 1)[-1] not in (
+                self.SOLVER_ENTRY_POINTS
+            ):
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            if not any(self._mentions_budget(argument) for argument in arguments):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{callee}() invoked from the service layer without a "
+                    "Budget argument; the solve is unbounded",
+                    hint="derive the budget from the request's admission "
+                    "ticket (ticket.budget(...)) or construct a "
+                    "Budget(time_limit=...) from its clamped deadline",
+                )
+
+    def _mentions_budget(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "budget" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "budget" in sub.attr.lower():
+                return True
+        return False

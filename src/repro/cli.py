@@ -16,6 +16,9 @@ Commands
     Inspect JSONL traces produced by ``solve --trace``: ``trace summarize``
     prints the per-phase time/node-access table, ``trace validate`` checks
     every record against the event schema.
+``serve`` / ``query``
+    Run the deadline-driven join service (:mod:`repro.service`) over
+    registered datasets / issue one request against a running server.
 
 Example::
 
@@ -23,11 +26,15 @@ Example::
     python -m repro.cli solve --query clique --variables 8 --algorithm sea
     python -m repro.cli solve --algorithm gils --trace out.jsonl --metrics
     python -m repro.cli trace summarize out.jsonl
+    python -m repro.cli serve --instance demo=./demo-dir --port 7447
+    python -m repro.cli query --port 7447 --instance demo --deadline 2.0
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import Sequence
 
@@ -67,8 +74,20 @@ from .obs import (
     summarize_trace,
 )
 from .query import hard_instance, load_instance, planted_instance, save_instance
+from .service import DatasetRegistry, JoinClient, JoinServer
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (workers, restarts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,10 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seconds", type=float, default=5.0)
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--target-solutions", type=float, default=1.0)
-    solve.add_argument("--workers", type=int, default=1,
+    solve.add_argument("--workers", type=_positive_int, default=1,
                        help="processes for portfolio members / restarts "
                             "(1 = run in-process)")
-    solve.add_argument("--restarts", type=int, default=1,
+    solve.add_argument("--restarts", type=_positive_int, default=1,
                        help="independent seeds of one heuristic, best kept "
                             "(> 1 runs ils/gils/sea via parallel_restarts)")
     solve.add_argument("--trace", metavar="PATH", default=None,
@@ -168,6 +187,61 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["ils", "gils", "sea", "ibb"])
     rerun.add_argument("--seconds", type=float, default=5.0)
     rerun.add_argument("--seed", type=int, default=0)
+
+    serve = commands.add_parser(
+        "serve", help="run the deadline-driven join service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks a free port (printed at startup)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="solver pool size")
+    serve.add_argument("--executor", default="process",
+                       choices=["process", "thread"])
+    serve.add_argument("--dataset", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="register a dataset file (.npz/.csv); repeatable")
+    serve.add_argument("--instance", action="append", default=[],
+                       metavar="NAME=DIR",
+                       help="register a persisted instance directory; repeatable")
+    serve.add_argument("--max-pending", type=_positive_int, default=16,
+                       help="in-flight requests before load shedding")
+    serve.add_argument("--deadline", type=float, default=5.0,
+                       help="default per-request deadline (s)")
+    serve.add_argument("--max-deadline", type=float, default=60.0,
+                       help="requested deadlines are clamped to this")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="solution cache entries (0 disables caching)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="solution cache expiry (s); default: no expiry")
+    serve.add_argument("--algorithm", default="gils",
+                       choices=["ils", "gils", "sea", "isa"],
+                       help="heuristic when a request names none")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the JSONL request log / event trace")
+
+    query = commands.add_parser(
+        "query", help="issue one request against a running join service"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--op", default="solve",
+                       choices=["solve", "ping", "stats", "datasets", "shutdown"])
+    query.add_argument("--instance", default=None,
+                       help="solve a registered instance by name")
+    query.add_argument("--query", default=None, choices=sorted(QUERY_BUILDERS),
+                       help="query topology (with --variables and --datasets)")
+    query.add_argument("--variables", type=_positive_int, default=None)
+    query.add_argument("--datasets", nargs="+", default=None,
+                       help="registered dataset names, one per variable")
+    query.add_argument("--deadline", type=float, default=None)
+    query.add_argument("--max-iterations", type=_positive_int, default=None)
+    query.add_argument("--algorithm", default=None,
+                       choices=["ils", "gils", "sea", "isa"])
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--restarts", type=_positive_int, default=1)
+    query.add_argument("--no-cache", action="store_true",
+                       help="bypass the server's solution cache")
     return parser
 
 
@@ -182,6 +256,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "generate": _cmd_generate,
         "rerun": _cmd_rerun,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
     }[args.command]
     return int(handler(args) or 0)
 
@@ -383,6 +459,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for label in ("local_maxima", "restarts", "crossovers"):
         if summary[label]:
             print(f"{label.replace('_', ' ')}: {summary[label]}")
+    requests = summary["requests"]
+    if requests is not None:
+        by_status = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(requests["by_status"].items())
+        )
+        print(f"requests: {requests['count']} ({by_status}), "
+              f"total latency {requests['elapsed']:.3f}s")
+    buffer = summary["buffer"]
+    if buffer is not None:
+        print(f"buffer pool: {buffer['hits']} hits / {buffer['misses']} misses "
+              f"(hit ratio {buffer['hit_ratio']:.3f})")
     metrics = summary["metrics"]
     if metrics and metrics.get("counters"):
         print(format_table(
@@ -414,6 +502,119 @@ def _cmd_generate(args: argparse.Namespace) -> None:
     print(f"  {args.query} n={args.variables} N={args.cardinality} "
           f"density={instance.density:.4g}"
           + (f" planted={instance.planted}" if instance.planted else ""))
+
+
+def _parse_registrations(pairs: list[str], flag: str) -> list[tuple[str, str]]:
+    parsed = []
+    for pair in pairs:
+        name, separator, path = pair.partition("=")
+        if not separator or not name or not path:
+            raise SystemExit(f"{flag} expects NAME=PATH, got {pair!r}")
+        parsed.append((name, path))
+    return parsed
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    registry = DatasetRegistry()
+    try:
+        for name, path in _parse_registrations(args.dataset, "--dataset"):
+            registry.register_path(name, path)
+        for name, path in _parse_registrations(args.instance, "--instance"):
+            registry.register_instance_dir(name, path)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"registration failed: {error}", file=sys.stderr)
+        return 1
+    server = JoinServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        max_pending=args.max_pending,
+        default_deadline=args.deadline,
+        max_deadline=args.max_deadline,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        default_algorithm=args.algorithm,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        host, port = server.address
+        print(f"listening on {host}:{port} "
+              f"({args.workers} {args.executor} workers, "
+              f"datasets: {registry.dataset_names() or '-'}, "
+              f"instances: {registry.instance_names() or '-'})",
+              flush=True)
+        try:
+            await server.wait_for_shutdown()
+        finally:
+            await server.stop()
+
+    if args.trace is None:
+        asyncio.run(_serve())
+        return 0
+    observation = Observation(sink=JsonlSink(args.trace))
+    try:
+        with observe(observation):
+            asyncio.run(_serve())
+            observation.emit_metrics()
+    finally:
+        observation.close()
+    print(f"trace: {args.trace}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    try:
+        client = JoinClient(args.host, args.port)
+    except OSError as error:
+        print(f"cannot connect to {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    with client:
+        if args.op != "solve":
+            response = client.request(
+                {"v": 1, "op": args.op, "id": f"cli-{args.op}"}
+            )
+            print(json.dumps(response, indent=2, sort_keys=True))
+            return 0 if response.get("status") == "ok" else 1
+        fields: dict[str, object] = {
+            "seed": args.seed,
+            "restarts": args.restarts,
+            "cache": not args.no_cache,
+        }
+        if args.instance is not None:
+            fields["instance"] = args.instance
+        elif args.query is not None:
+            if args.variables is None or args.datasets is None:
+                print("--query needs --variables and --datasets", file=sys.stderr)
+                return 1
+            fields["query"] = {"type": args.query, "variables": args.variables}
+            fields["datasets"] = args.datasets
+        else:
+            print("query solve needs --instance or --query", file=sys.stderr)
+            return 1
+        if args.deadline is not None:
+            fields["deadline"] = args.deadline
+        if args.max_iterations is not None:
+            fields["max_iterations"] = args.max_iterations
+        if args.algorithm is not None:
+            fields["algorithm"] = args.algorithm
+        response = client.solve(check=False, **fields)  # type: ignore[arg-type]
+        if response.get("status") != "ok":
+            error = response.get("error", {})
+            print(f"error: {error.get('code')} — {error.get('message')} "
+                  f"(retryable: {error.get('retryable')})", file=sys.stderr)
+            return 1
+        print(f"cache: {'hit' if response['cached'] else 'miss'}")
+        print(f"result: {'exact' if response['exact'] else 'approximate'} "
+              f"violations={response['violations']} "
+              f"similarity={response['similarity']:.4f}")
+        print(f"search: algorithm={response['algorithm']} "
+              f"iterations={response['iterations']} "
+              f"elapsed={response['elapsed']:.3f}s")
+        print(f"assignment: {response['assignment']}")
+        return 0
 
 
 def _cmd_rerun(args: argparse.Namespace) -> None:

@@ -146,12 +146,19 @@ def _find_best_value_kernels(
     best_score = floor_score
     stats = tree.stats
     pager = tree.pager
+    if pager is not None:
+        obs = current()
+        buffer_hits = obs.counter("index.buffer.hit")
+        buffer_misses = obs.counter("index.buffer.miss")
 
     def descend(node: Node) -> None:
         nonlocal best, best_score
         stats.node_reads += 1
         if pager is not None:
-            pager.access(id(node))
+            if pager.access(id(node)):
+                buffer_hits.inc()
+            else:
+                buffer_misses.inc()
         is_leaf = node.is_leaf
         if is_leaf:
             stats.leaf_reads += 1
@@ -197,12 +204,19 @@ def _find_best_value_scalar(
     best_score = floor_score
     stats = tree.stats
     pager = tree.pager
+    if pager is not None:
+        obs = current()
+        buffer_hits = obs.counter("index.buffer.hit")
+        buffer_misses = obs.counter("index.buffer.miss")
 
     def descend(node: Node) -> None:
         nonlocal best, best_score
         stats.node_reads += 1
         if pager is not None:
-            pager.access(id(node))
+            if pager.access(id(node)):
+                buffer_hits.inc()
+            else:
+                buffer_misses.inc()
         if node.is_leaf:
             stats.leaf_reads += 1
             scored: list[tuple[int, Rect, Any]] = []
@@ -261,12 +275,19 @@ def _find_best_value_intersects_scalar(
     best_score = floor_score
     stats = tree.stats
     pager = tree.pager
+    if pager is not None:
+        obs = current()
+        buffer_hits = obs.counter("index.buffer.hit")
+        buffer_misses = obs.counter("index.buffer.miss")
 
     def descend(node: Node) -> None:
         nonlocal best, best_score
         stats.node_reads += 1
         if pager is not None:
-            pager.access(id(node))
+            if pager.access(id(node)):
+                buffer_hits.inc()
+            else:
+                buffer_misses.inc()
         is_leaf = node.is_leaf
         if is_leaf:
             stats.leaf_reads += 1

@@ -18,6 +18,7 @@ import heapq
 from typing import Any, Iterator
 
 from ..geometry import INTERSECTS, Rect, SpatialPredicate
+from ..obs import current
 from .rstar import RStarTree
 
 __all__ = [
@@ -59,12 +60,19 @@ def search_predicate(
     stats.window_queries += 1
     if tree.root.mbr is None:
         return
+    if pager is not None:
+        obs = current()
+        buffer_hits = obs.counter("index.buffer.hit")
+        buffer_misses = obs.counter("index.buffer.miss")
     stack = [tree.root]
     while stack:
         node = stack.pop()
         stats.node_reads += 1
         if pager is not None:
-            pager.access(id(node))
+            if pager.access(id(node)):
+                buffer_hits.inc()
+            else:
+                buffer_misses.inc()
         if node.is_leaf:
             stats.leaf_reads += 1
             for rect, item in node.entries():
@@ -95,6 +103,11 @@ def nearest_neighbors(
         return []
     point = Rect(x, y, x, y)
     results: list[tuple[float, Rect, Any]] = []
+    pager = tree.pager
+    if pager is not None:
+        obs = current()
+        buffer_hits = obs.counter("index.buffer.hit")
+        buffer_misses = obs.counter("index.buffer.miss")
     counter = 0  # heap tie-breaker; Rects are comparable but nodes are not
     heap: list[tuple[float, int, Any, Rect | None]] = [
         (tree.root.mbr.min_distance(point), counter, tree.root, None)
@@ -106,8 +119,11 @@ def nearest_neighbors(
             continue
         node = payload
         stats.node_reads += 1
-        if tree.pager is not None:
-            tree.pager.access(id(node))
+        if pager is not None:
+            if pager.access(id(node)):
+                buffer_hits.inc()
+            else:
+                buffer_misses.inc()
         if node.is_leaf:
             stats.leaf_reads += 1
         for bound, child in node.entries():

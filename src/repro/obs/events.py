@@ -49,6 +49,7 @@ _TYPE_FIELDS: dict[str, _FieldSpec] = {
     "local_maximum": {"violations": (int,)},
     "restart": {"index": (int,)},
     "crossover": {"generation": (int,), "point": (int,)},
+    "request": {"op": (str,), "status": (str,), "elapsed": (int, float)},
 }
 
 EVENT_TYPES = frozenset(_TYPE_FIELDS)

@@ -44,6 +44,8 @@ SPAN_NAMES = frozenset(
         # multi-run drivers
         "parallel.run",
         "portfolio.run",
+        # query service: one span per solve, opened inside the worker
+        "service.solve",
     }
 )
 
@@ -81,6 +83,17 @@ METRIC_NAMES = frozenset(
         "kernels.scalar_pair_matrices",
         # cross-process aggregation
         "parallel.members",
+        # R*-tree buffer pool (emitted when a BufferPool is attached)
+        "index.buffer.hit",
+        "index.buffer.miss",
+        # query service
+        "service.requests",
+        "service.cache.hit",
+        "service.cache.miss",
+        "service.queue.depth",
+        "service.shed",
+        "service.approximate",
+        "service.latency",
     }
 )
 

@@ -27,8 +27,14 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
           "convergence": {"points", "final_violations", "final_similarity"}
             or None,
           "local_maxima": <count>, "restarts": <count>, "crossovers": <count>,
+          "requests": {"count", "by_status", "elapsed"} or None,
+          "buffer": {"hits", "misses", "hit_ratio"} or None,
           "metrics": last metric_snapshot payload or None,
         }
+
+    ``requests`` aggregates the service request log; ``buffer`` reads the
+    ``index.buffer.*`` counters out of the final metric snapshot (present
+    only when a buffer pool was attached during the run).
 
     ``node_reads`` per phase is ``None`` when no span of that name carried
     an io probe, otherwise the sum over probed spans.
@@ -42,6 +48,7 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     restarts = 0
     crossovers = 0
     total = 0
+    requests: Optional[dict[str, Any]] = None
     for record in records:
         total += 1
         member = record.get("member")
@@ -75,8 +82,28 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             restarts += 1
         elif event_type == "crossover":
             crossovers += 1
+        elif event_type == "request":
+            if requests is None:
+                requests = {"count": 0, "by_status": {}, "elapsed": 0.0}
+            requests["count"] += 1
+            status = str(record.get("status", "?"))
+            requests["by_status"][status] = requests["by_status"].get(status, 0) + 1
+            requests["elapsed"] += float(record.get("elapsed", 0.0))
         elif event_type == "metric_snapshot":
             metrics = dict(record.get("metrics", {}))
+    buffer: Optional[dict[str, Any]] = None
+    if metrics is not None:
+        counters = metrics.get("counters", {})
+        hits = counters.get("index.buffer.hit")
+        misses = counters.get("index.buffer.miss")
+        if hits is not None or misses is not None:
+            hits, misses = int(hits or 0), int(misses or 0)
+            accesses = hits + misses
+            buffer = {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / accesses) if accesses else 0.0,
+            }
     return {
         "events": total,
         "members": sorted(members),
@@ -85,6 +112,8 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         "local_maxima": local_maxima,
         "restarts": restarts,
         "crossovers": crossovers,
+        "requests": requests,
+        "buffer": buffer,
         "metrics": metrics,
     }
 

@@ -1,0 +1,133 @@
+"""Admission control: bounded concurrency with per-request deadline budgets.
+
+The server dispatches solves onto a fixed process pool; without a bound on
+*admitted* work the executor queue grows without limit and every request's
+effective deadline silently dies in the queue.  The controller enforces
+the alternative contract: at most ``max_pending`` requests are in flight
+(running or queued) at any moment, and everything beyond that is shed
+immediately with a structured retryable error — the client's signal to
+back off rather than time out.
+
+Admission also owns deadline policy: requested deadlines are clamped into
+``(0, max_deadline]`` (absent ones get ``default_deadline``), and each
+admitted request carries a :class:`~repro.core.budget.Stopwatch` so the
+dispatcher can subtract queue wait from the solve budget — the worker
+receives only the *remaining* time, never the original deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.budget import Budget, Stopwatch
+
+__all__ = ["AdmissionController", "Ticket", "MIN_SOLVE_SECONDS"]
+
+#: floor on the time budget handed to a worker: even a request whose
+#: deadline was consumed by queueing gets one short anytime run back
+#: (graceful degradation returns *something*, flagged approximate)
+MIN_SOLVE_SECONDS = 0.02
+
+
+@dataclass
+class Ticket:
+    """One admitted request: its deadline and its queue-wait stopwatch."""
+
+    deadline: float
+    admitted: Stopwatch = field(default_factory=Stopwatch)
+
+    def remaining(self) -> float:
+        """Deadline seconds left, floored at :data:`MIN_SOLVE_SECONDS`."""
+        return max(MIN_SOLVE_SECONDS, self.deadline - self.admitted.elapsed())
+
+    def budget(self, max_iterations: int | None = None) -> Budget:
+        """A fresh solve budget over the remaining deadline."""
+        return Budget(time_limit=self.remaining(), max_iterations=max_iterations)
+
+
+class AdmissionController:
+    """Bounded in-flight request count with load shedding.
+
+    Parameters
+    ----------
+    max_pending:
+        Requests admitted but not yet completed (running + queued).
+        Arrivals beyond this are shed.
+    default_deadline / max_deadline:
+        Deadline policy in seconds; requests asking for more than
+        ``max_deadline`` are clamped, not rejected (the paper's time
+        threshold is a promise to answer *by* then, and a tighter promise
+        still satisfies it).
+    clock:
+        Injectable time source for the tickets' stopwatches.
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 16,
+        default_deadline: float = 5.0,
+        max_deadline: float = 60.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if default_deadline <= 0 or max_deadline <= 0:
+            raise ValueError("deadlines must be positive")
+        if default_deadline > max_deadline:
+            raise ValueError(
+                f"default deadline {default_deadline} exceeds maximum {max_deadline}"
+            )
+        self.max_pending = max_pending
+        self.default_deadline = default_deadline
+        self.max_deadline = max_deadline
+        self._clock = clock
+        self._pending = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted and not yet released."""
+        return self._pending
+
+    def clamp_deadline(self, requested: float | None) -> float:
+        """The effective deadline for a request asking for ``requested``."""
+        if requested is None:
+            return self.default_deadline
+        return min(float(requested), self.max_deadline)
+
+    def try_admit(self, requested_deadline: float | None = None) -> Ticket | None:
+        """Admit one request, or return ``None`` when it must be shed."""
+        if self._pending >= self.max_pending:
+            self.shed_total += 1
+            return None
+        self._pending += 1
+        self.admitted_total += 1
+        deadline = self.clamp_deadline(requested_deadline)
+        if self._clock is not None:
+            return Ticket(deadline=deadline, admitted=Stopwatch(self._clock))
+        return Ticket(deadline=deadline)
+
+    def release(self, ticket: Ticket) -> None:
+        """Return one admitted request's slot (call exactly once per ticket)."""
+        if self._pending <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self._pending -= 1
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for the server's ``stats`` op."""
+        return {
+            "pending": self._pending,
+            "max_pending": self.max_pending,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "default_deadline": self.default_deadline,
+            "max_deadline": self.max_deadline,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdmissionController(pending={self._pending}/{self.max_pending}, "
+            f"shed={self.shed_total})"
+        )

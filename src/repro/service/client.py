@@ -1,0 +1,184 @@
+"""Clients for the JSON-lines join service (sync and asyncio flavours).
+
+:class:`JoinClient` is a plain blocking socket client — one connection,
+one request per call, responses matched by the auto-assigned request id.
+It is what the CLI ``query`` subcommand and the integration tests use
+(each thread gets its own client; the class is not thread-safe).
+:class:`AsyncJoinClient` is the same surface over asyncio streams for
+callers already living in an event loop.
+
+Both speak the schema in :mod:`repro.service.protocol`: requests are
+validated before they leave the process, so a malformed call fails fast
+locally instead of bouncing off the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Mapping
+
+from .protocol import PROTOCOL_VERSION, solve_request, validate_request
+
+__all__ = ["JoinClient", "AsyncJoinClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A structured error response, surfaced as an exception on demand.
+
+    Carries the protocol error payload: :attr:`code`,
+    :attr:`retryable`, and the server's message.
+    """
+
+    def __init__(self, response: Mapping[str, Any]) -> None:
+        error = response.get("error", {})
+        self.code = str(error.get("code", "internal"))
+        self.retryable = bool(error.get("retryable", False))
+        self.response = dict(response)
+        super().__init__(f"{self.code}: {error.get('message', 'unknown error')}")
+
+
+def _raise_for_status(response: dict[str, Any]) -> dict[str, Any]:
+    if response.get("status") != "ok":
+        raise ServiceError(response)
+    return response
+
+
+class _RequestIds:
+    """Monotonic request-id factory shared by both client flavours."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._next = 0
+
+    def take(self) -> str:
+        self._next += 1
+        return f"{self._prefix}-{self._next}"
+
+
+class JoinClient:
+    """Blocking JSON-lines client (one socket, sequential requests)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float | None = 60.0
+    ) -> None:
+        self._ids = _RequestIds("req")
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+
+    # -- transport ------------------------------------------------------
+    def request(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one validated request record and return the raw response."""
+        record = validate_request(dict(record))
+        self._socket.sendall((json.dumps(record) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response: dict[str, Any] = json.loads(line)
+        return response
+
+    def close(self) -> None:
+        self._reader.close()
+        self._socket.close()
+
+    def __enter__(self) -> "JoinClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- operations -----------------------------------------------------
+    def _op(self, op: str, **fields: Any) -> dict[str, Any]:
+        record = {"v": PROTOCOL_VERSION, "op": op, "id": self._ids.take(), **fields}
+        return _raise_for_status(self.request(record))
+
+    def ping(self) -> dict[str, Any]:
+        return self._op("ping")
+
+    def datasets(self) -> dict[str, Any]:
+        return self._op("datasets")
+
+    def stats(self) -> dict[str, Any]:
+        return self._op("stats")
+
+    def register(self, name: str, path: str) -> dict[str, Any]:
+        return self._op("register", name=name, path=path)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._op("shutdown")
+
+    def solve(self, *, check: bool = True, **fields: Any) -> dict[str, Any]:
+        """Issue one solve request (see :func:`solve_request` for fields).
+
+        With ``check`` (the default) an error response raises
+        :class:`ServiceError`; pass ``check=False`` to get the raw record —
+        callers doing their own backoff on ``overloaded`` want that.
+        """
+        record = solve_request(self._ids.take(), **fields)
+        response = self.request(record)
+        return _raise_for_status(response) if check else response
+
+
+class AsyncJoinClient:
+    """The same client surface over asyncio streams."""
+
+    def __init__(self) -> None:
+        self._ids = _RequestIds("areq")
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncJoinClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        return client
+
+    async def request(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        assert self._reader is not None and self._writer is not None
+        record = validate_request(dict(record))
+        self._writer.write((json.dumps(record) + "\n").encode("utf-8"))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response: dict[str, Any] = json.loads(line)
+        return response
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncJoinClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _op(self, op: str, **fields: Any) -> dict[str, Any]:
+        record = {"v": PROTOCOL_VERSION, "op": op, "id": self._ids.take(), **fields}
+        return _raise_for_status(await self.request(record))
+
+    async def ping(self) -> dict[str, Any]:
+        return await self._op("ping")
+
+    async def datasets(self) -> dict[str, Any]:
+        return await self._op("datasets")
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._op("stats")
+
+    async def register(self, name: str, path: str) -> dict[str, Any]:
+        return await self._op("register", name=name, path=path)
+
+    async def shutdown(self) -> dict[str, Any]:
+        return await self._op("shutdown")
+
+    async def solve(self, *, check: bool = True, **fields: Any) -> dict[str, Any]:
+        record = solve_request(self._ids.take(), **fields)
+        response = await self.request(record)
+        return _raise_for_status(response) if check else response

@@ -1,0 +1,515 @@
+"""Asyncio JSON-lines join server with caching and admission control.
+
+One :class:`JoinServer` owns the four service pieces and wires them to the
+engine:
+
+* a :class:`~repro.service.registry.DatasetRegistry` naming the data,
+* a :class:`~repro.service.cache.SolutionCache` keyed by canonical query
+  signature (isomorphic requests hit),
+* an :class:`~repro.service.admission.AdmissionController` bounding
+  in-flight work and clamping deadlines,
+* an executor pool running :func:`~repro.service.worker.run_solve_job`
+  (the anytime :func:`~repro.core.parallel.parallel_restarts` path).
+
+The event loop itself never solves anything: a connection handler
+validates, consults the cache, asks for admission, and awaits the
+executor.  Deadline expiry is the *graceful* path — the anytime search
+returns its incumbent flagged ``"approximate": true`` — and overload is a
+structured shed (``"overloaded"``, retryable), never a dropped connection.
+
+Observability threads through the ambient observation: every request
+emits a ``request`` event (the trace-compatible JSONL request log when
+the observation sinks to a file), ``service.*`` counters and the
+``service.queue.depth`` gauge track the flow, and worker-side
+``service.solve`` spans are replayed into the server's trace via the
+cross-process machinery in :mod:`repro.obs.aggregate`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+from ..core.budget import Stopwatch
+from ..obs import current, merge_states, replay_into
+from ..query.hardness import ProblemInstance
+from .admission import AdmissionController
+from .cache import CacheEntry, SolutionCache, canonical_query_key, solve_cache_key
+from .protocol import (
+    PROTOCOL_VERSION,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from .registry import DatasetRegistry
+from .worker import SolveJob, build_query, init_service_worker, run_solve_job
+
+__all__ = ["JoinServer"]
+
+#: seconds of grace past a request's time budget before the server stops
+#: waiting on a worker and reports an internal error (a crashed/hung
+#: worker must not wedge the connection forever)
+WORKER_GRACE_SECONDS = 30.0
+
+
+class JoinServer:
+    """Deadline-driven multiway-join query service.
+
+    Parameters
+    ----------
+    registry:
+        The named datasets/instances this server may solve over.
+    host / port:
+        Listening address; port ``0`` picks a free one (read
+        :attr:`address` after :meth:`start`).
+    workers / executor:
+        Pool size and kind.  ``"process"`` (the default) rebuilds the
+        registry per worker via :func:`init_service_worker` and replays
+        worker observations; ``"thread"`` shares this process's registry —
+        handy for tests and tiny in-memory datasets, but solves then
+        compete for the GIL and per-request solve spans are disabled.
+    max_pending / default_deadline / max_deadline:
+        Admission policy (see :class:`AdmissionController`).
+    cache_capacity / cache_ttl:
+        Solution cache sizing; capacity ``0`` disables caching entirely.
+    default_algorithm:
+        Heuristic used when a solve request names none.
+    """
+
+    def __init__(
+        self,
+        registry: DatasetRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        executor: str = "process",
+        max_pending: int = 16,
+        default_deadline: float = 5.0,
+        max_deadline: float = 60.0,
+        cache_capacity: int = 256,
+        cache_ttl: float | None = None,
+        default_algorithm: str = "gils",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in ("process", "thread"):
+            raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
+        self.registry = registry
+        self._host = host
+        self._port = port
+        self.workers = workers
+        self.executor_kind = executor
+        self.admission = AdmissionController(
+            max_pending=max_pending,
+            default_deadline=default_deadline,
+            max_deadline=max_deadline,
+        )
+        self.cache: SolutionCache | None = (
+            SolutionCache(capacity=cache_capacity, ttl=cache_ttl)
+            if cache_capacity > 0
+            else None
+        )
+        self.default_algorithm = default_algorithm
+        self.requests_total = 0
+        self.errors_total = 0
+        self._executor: Executor | None = None
+        #: names shipped to process workers at pool creation; anything
+        #: registered later (or memory-only) is solved from an inline copy
+        self._worker_names: set[str] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._connections: set[asyncio.Task[None]] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        return self._host, self._port
+
+    async def start(self) -> None:
+        """Warm the registry, spin up the pool, and start listening."""
+        self.registry.warm()
+        if self._executor is None:
+            if self.executor_kind == "process":
+                spec = self.registry.spec()
+                self._worker_names = set(spec["datasets"]) | set(spec["instances"])
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=init_service_worker,
+                    initargs=(spec,),
+                )
+            else:
+                self._worker_names = None
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self._port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Close the listener, drop open connections, shut the pool down."""
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    async def wait_for_shutdown(self) -> None:
+        """Block until a ``shutdown`` request arrives (after :meth:`start`)."""
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+
+    async def serve_until_shutdown(self) -> None:
+        """Start, then block until a ``shutdown`` request arrives."""
+        await self.start()
+        try:
+            await self.wait_for_shutdown()
+        finally:
+            await self.stop()
+
+    def run(self) -> None:
+        """Synchronous convenience wrapper around :meth:`serve_until_shutdown`."""
+        asyncio.run(self.serve_until_shutdown())
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.CancelledError):
+                    # cancellation only arrives at teardown; finish cleanly
+                    # so the stream protocol does not log a spurious error
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                payload = json.dumps(response, sort_keys=True) + "\n"
+                try:
+                    writer.write(payload.encode("utf-8"))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+        """One request line → one response record (never raises)."""
+        obs = current()
+        stopwatch = Stopwatch()
+        self.requests_total += 1
+        obs.counter("service.requests").inc()
+        request_id, op = "?", "?"
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            response = error_response(request_id, op, "bad_request", f"invalid JSON: {error}")
+            self._finish(obs, op, response, stopwatch)
+            return response
+        if isinstance(record, dict):
+            raw_id, raw_op = record.get("id"), record.get("op")
+            request_id = raw_id if isinstance(raw_id, str) else "?"
+            op = raw_op if isinstance(raw_op, str) else "?"
+        try:
+            validate_request(record)
+        except ValueError as error:
+            response = error_response(request_id, op, "bad_request", str(error))
+            self._finish(obs, op, response, stopwatch)
+            return response
+        if self._shutdown is not None and self._shutdown.is_set():
+            response = error_response(
+                request_id, op, "shutting_down", "server is draining"
+            )
+            self._finish(obs, op, response, stopwatch)
+            return response
+        try:
+            response = await self._dispatch(record, request_id, op)
+        except Exception as error:  # noqa: BLE001 - connection must survive
+            response = error_response(
+                request_id, op, "internal", f"{type(error).__name__}: {error}"
+            )
+        self._finish(obs, op, response, stopwatch)
+        return response
+
+    def _finish(
+        self, obs: Any, op: str, response: dict[str, Any], stopwatch: Stopwatch
+    ) -> None:
+        """Request accounting: latency histogram + ``request`` log event."""
+        status = response.get("status", "error")
+        if status != "ok":
+            self.errors_total += 1
+        elapsed = stopwatch.elapsed()
+        obs.histogram("service.latency").observe(elapsed)
+        obs.event("request", op=op, status=str(status), elapsed=elapsed)
+
+    async def _dispatch(
+        self, record: dict[str, Any], request_id: str, op: str
+    ) -> dict[str, Any]:
+        if op == "ping":
+            return ok_response(request_id, op, version=PROTOCOL_VERSION)
+        if op == "datasets":
+            return ok_response(
+                request_id,
+                op,
+                datasets=self.registry.dataset_names(),
+                instances=self.registry.instance_names(),
+            )
+        if op == "stats":
+            return ok_response(request_id, op, **self.stats())
+        if op == "register":
+            return self._handle_register(record, request_id)
+        if op == "shutdown":
+            assert self._shutdown is not None
+            self._shutdown.set()
+            return ok_response(request_id, op, stopping=True)
+        assert op == "solve"
+        return await self._handle_solve(record, request_id)
+
+    def stats(self) -> dict[str, Any]:
+        """Live service counters for the ``stats`` op (and tests)."""
+        return {
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "workers": self.workers,
+            "executor": self.executor_kind,
+            "admission": self.admission.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    def _handle_register(
+        self, record: dict[str, Any], request_id: str
+    ) -> dict[str, Any]:
+        """Register a dataset file or instance directory by path."""
+        name, path = record["name"], record["path"]
+        try:
+            from pathlib import Path
+
+            if (Path(path) / "instance.json").is_file():
+                self.registry.register_instance_dir(name, path)
+                kind = "instance"
+            else:
+                self.registry.register_path(name, path)
+                kind = "dataset"
+        except (FileNotFoundError, ValueError) as error:
+            return error_response(request_id, "register", "bad_request", str(error))
+        return ok_response(request_id, "register", name=name, kind=kind)
+
+    # ------------------------------------------------------------------
+    # solve
+    # ------------------------------------------------------------------
+    async def _handle_solve(
+        self, record: dict[str, Any], request_id: str
+    ) -> dict[str, Any]:
+        obs = current()
+        algorithm = record.get("algorithm", self.default_algorithm)
+        seed = record.get("seed", 0)
+        restarts = record.get("restarts", 1)
+        max_iterations = record.get("max_iterations")
+        deadline = self.admission.clamp_deadline(record.get("deadline"))
+        use_cache = bool(record.get("cache", True)) and self.cache is not None
+
+        # resolve the query graph and the dataset labels that key the cache
+        instance_name = record.get("instance")
+        try:
+            if instance_name is not None:
+                instance = self.registry.instance(instance_name)
+                query = instance.query
+                labels = [
+                    f"{instance_name}/{index}"
+                    for index in range(query.num_variables)
+                ]
+                dataset_names: tuple[str, ...] | None = None
+            else:
+                query = build_query(record["query"])
+                names = record["datasets"]
+                if len(names) != query.num_variables:
+                    raise ValueError(
+                        f"query has {query.num_variables} variables but "
+                        f"{len(names)} datasets were named"
+                    )
+                known = set(self.registry.dataset_names())
+                missing = [name for name in names if name not in known]
+                if missing:
+                    raise KeyError(
+                        f"unknown datasets {missing}; known: {sorted(known)}"
+                    )
+                labels = list(names)
+                dataset_names = tuple(names)
+        except KeyError as error:
+            message = str(error.args[0]) if error.args else str(error)
+            return error_response(request_id, "solve", "unknown_dataset", message)
+        except ValueError as error:
+            return error_response(request_id, "solve", "bad_request", str(error))
+
+        # cache lookup under the canonical signature
+        cache_key: str | None = None
+        order: tuple[int, ...] = tuple(range(query.num_variables))
+        if use_cache:
+            signature, order = canonical_query_key(query, labels)
+            cache_key = solve_cache_key(
+                signature, algorithm, seed, restarts, deadline, max_iterations
+            )
+            assert self.cache is not None
+            entry = self.cache.get(cache_key)
+            if entry is not None:
+                obs.counter("service.cache.hit").inc()
+                return ok_response(
+                    request_id,
+                    "solve",
+                    cached=True,
+                    assignment=entry.assignment_for(order),
+                    violations=entry.violations,
+                    similarity=entry.similarity,
+                    exact=entry.violations == 0,
+                    approximate=entry.violations != 0,
+                    iterations=entry.iterations,
+                    elapsed=entry.elapsed,
+                    algorithm=entry.algorithm,
+                    seed=seed,
+                    restarts=restarts,
+                )
+            obs.counter("service.cache.miss").inc()
+
+        # admission: bounded in-flight work, shed the rest
+        ticket = self.admission.try_admit(deadline)
+        if ticket is None:
+            obs.counter("service.shed").inc()
+            obs.gauge("service.queue.depth").set(self.admission.pending)
+            return error_response(
+                request_id,
+                "solve",
+                "overloaded",
+                f"{self.admission.pending} requests already in flight; retry later",
+            )
+        obs.gauge("service.queue.depth").set(self.admission.pending)
+        try:
+            job = self._build_job(
+                record,
+                instance_name,
+                dataset_names,
+                algorithm=algorithm,
+                seed=seed,
+                restarts=restarts,
+                time_limit=ticket.remaining(),
+                max_iterations=max_iterations,
+                observe_solve=(
+                    self.executor_kind == "process" and getattr(obs, "enabled", False)
+                ),
+            )
+            payload = await self._run_job(job, timeout=ticket.remaining())
+        except asyncio.TimeoutError:
+            return error_response(
+                request_id, "solve", "internal", "solve worker timed out"
+            )
+        except Exception as error:  # noqa: BLE001 - pool crashes become errors
+            return error_response(
+                request_id, "solve", "internal", f"{type(error).__name__}: {error}"
+            )
+        finally:
+            self.admission.release(ticket)
+            obs.gauge("service.queue.depth").set(self.admission.pending)
+
+        worker_obs = payload.pop("obs", None)
+        if worker_obs is not None and getattr(obs, "enabled", False):
+            replay_into(obs, merge_states([worker_obs]))
+        if payload["approximate"]:
+            obs.counter("service.approximate").inc()
+        if use_cache and cache_key is not None:
+            assert self.cache is not None
+            self.cache.put(
+                cache_key,
+                CacheEntry.from_result(
+                    payload["assignment"],
+                    order,
+                    violations=payload["violations"],
+                    similarity=payload["similarity"],
+                    iterations=payload["iterations"],
+                    elapsed=payload["elapsed"],
+                    algorithm=payload["algorithm"],
+                ),
+            )
+        return ok_response(
+            request_id, "solve", cached=False, seed=seed, restarts=restarts, **payload
+        )
+
+    def _build_job(
+        self,
+        record: dict[str, Any],
+        instance_name: str | None,
+        dataset_names: tuple[str, ...] | None,
+        *,
+        algorithm: str,
+        seed: int,
+        restarts: int,
+        time_limit: float,
+        max_iterations: int | None,
+        observe_solve: bool,
+    ) -> SolveJob:
+        """A picklable job; data the pool workers lack ships inline."""
+        inline: ProblemInstance | None = None
+        if self._worker_names is not None:  # process pool
+            if instance_name is not None:
+                if instance_name not in self._worker_names:
+                    inline = self.registry.instance(instance_name)
+            elif dataset_names is not None and not all(
+                name in self._worker_names for name in dataset_names
+            ):
+                inline = ProblemInstance(
+                    query=build_query(record["query"]),
+                    datasets=[self.registry.dataset(name) for name in dataset_names],
+                )
+        return SolveJob(
+            instance_name=None if inline is not None else instance_name,
+            query=None if inline is not None else record.get("query"),
+            dataset_names=None if inline is not None else dataset_names,
+            inline_instance=inline,
+            algorithm=algorithm,
+            seed=seed,
+            restarts=restarts,
+            time_limit=time_limit,
+            max_iterations=max_iterations,
+            observe=observe_solve,
+        )
+
+    async def _run_job(self, job: SolveJob, timeout: float) -> dict[str, Any]:
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        if self.executor_kind == "thread":
+            call = functools.partial(run_solve_job, job, self.registry)
+        else:
+            call = functools.partial(run_solve_job, job)
+        future = loop.run_in_executor(self._executor, call)
+        return await asyncio.wait_for(future, timeout=timeout + WORKER_GRACE_SECONDS)

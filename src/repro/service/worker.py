@@ -1,0 +1,147 @@
+"""Worker-side execution of solve jobs (everything here must pickle).
+
+The server ships one :class:`SolveJob` per request into its
+``ProcessPoolExecutor``.  Following the discipline of
+:mod:`repro.core.parallel`, nothing live crosses the process boundary:
+jobs carry dataset *names* (resolved against a per-worker
+:class:`~repro.service.registry.DatasetRegistry` built once by the pool
+initializer) and raw budget limits, never sockets, budgets or open
+observations.  Only instances that exist purely in the server's memory
+are shipped inline.
+
+Workers keep every dataset they have loaded for the lifetime of the pool,
+so a dataset is read from disk at most once per worker — the per-request
+cost is the solve itself, not dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.budget import Budget
+from ..core.parallel import parallel_restarts
+from ..obs import Observation, export_state, observe
+from ..query.graph import QueryGraph
+from ..query.hardness import ProblemInstance
+from ..query.io import query_from_dict
+from .registry import DatasetRegistry
+
+__all__ = ["SolveJob", "init_service_worker", "run_solve_job", "build_query"]
+
+#: named topology builders accepted in a solve request's ``query.type``
+_TOPOLOGIES = {
+    "chain": QueryGraph.chain,
+    "clique": QueryGraph.clique,
+    "cycle": QueryGraph.cycle,
+    "star": QueryGraph.star,
+}
+
+
+def build_query(spec: dict[str, Any]) -> QueryGraph:
+    """A query graph from a request's query spec (named or explicit)."""
+    if "type" in spec:
+        return _TOPOLOGIES[spec["type"]](spec["variables"])
+    return query_from_dict(spec)
+
+
+@dataclass(frozen=True)
+class SolveJob:
+    """One picklable solve: where the data is, what to run, how long for."""
+
+    #: registry name of a whole instance, or None when query+datasets used
+    instance_name: str | None
+    #: query spec dict (protocol format) when instance_name is None
+    query: dict[str, Any] | None
+    #: registry dataset names, one per query variable
+    dataset_names: tuple[str, ...] | None
+    #: inline instance for data only the server process holds
+    inline_instance: ProblemInstance | None
+    algorithm: str
+    seed: int
+    restarts: int
+    time_limit: float | None
+    max_iterations: int | None
+    #: observe the solve and ship spans/metrics back to the server
+    observe: bool = False
+
+
+# Per-process state, set once by the pool initializer.
+_WORKER_REGISTRY: DatasetRegistry | None = None
+
+
+def init_service_worker(registry_spec: dict[str, Any]) -> None:
+    """Pool initializer: rebuild the lazy registry inside this worker."""
+    global _WORKER_REGISTRY
+    _WORKER_REGISTRY = DatasetRegistry.from_spec(registry_spec)
+
+
+def _resolve_instance(
+    job: SolveJob, registry: DatasetRegistry | None
+) -> ProblemInstance:
+    if job.inline_instance is not None:
+        return job.inline_instance
+    if registry is None:
+        raise RuntimeError("service worker used before init_service_worker()")
+    if job.instance_name is not None:
+        return registry.instance(job.instance_name)
+    assert job.query is not None and job.dataset_names is not None
+    query = build_query(job.query)
+    datasets = [registry.dataset(name) for name in job.dataset_names]
+    return ProblemInstance(query=query, datasets=datasets)
+
+
+def solve_with_budget(
+    instance: ProblemInstance, job: SolveJob, budget: Budget
+) -> dict[str, Any]:
+    """Run the anytime search under ``budget`` and render a plain payload.
+
+    The heuristics are anytime, so deadline expiry *is* the graceful path:
+    whatever incumbent exists when the budget runs out comes back, flagged
+    approximate unless it satisfies every join condition.
+    """
+    result = parallel_restarts(
+        instance,
+        budget,
+        seed=job.seed,
+        heuristic=job.algorithm,
+        restarts=job.restarts,
+        workers=1,  # process parallelism belongs to the server's pool
+    )
+    return {
+        "assignment": list(result.best_assignment),
+        "violations": result.best_violations,
+        "similarity": result.best_similarity,
+        "exact": result.is_exact,
+        "approximate": not result.is_exact,
+        "iterations": result.iterations,
+        "elapsed": result.elapsed,
+        "algorithm": job.algorithm,
+    }
+
+
+def run_solve_job(
+    job: SolveJob, registry: DatasetRegistry | None = None
+) -> dict[str, Any]:
+    """Execute one job in this worker; returns a picklable result payload.
+
+    ``registry`` defaults to the per-process one installed by
+    :func:`init_service_worker`; thread-executor servers pass their own.
+
+    With ``job.observe`` the solve runs under a fresh per-request
+    observation whose spans and metrics ship back under ``"obs"`` — the
+    server replays them into its own trace exactly like
+    :func:`~repro.core.parallel.parallel_restarts` replays member
+    observations.  Observed jobs activate the ambient observation for the
+    whole process, so servers only set ``observe`` when each worker runs
+    one job at a time (the process-pool mode).
+    """
+    instance = _resolve_instance(job, registry or _WORKER_REGISTRY)
+    budget = Budget(time_limit=job.time_limit, max_iterations=job.max_iterations)
+    if not job.observe:
+        return solve_with_budget(instance, job, budget)
+    with observe(Observation()) as request_observation:
+        with request_observation.span("service.solve"):
+            payload = solve_with_budget(instance, job, budget)
+    payload["obs"] = export_state(request_observation)
+    return payload

@@ -103,3 +103,60 @@ class TestTreeIntegration:
         list(search_items(b.tree, Rect(0, 0, 1, 1)))
         # pages of distinct trees never collide (identity-based page ids)
         assert pool.misses >= 2
+
+
+class TestObsCounters:
+    """Buffer accesses emit ``index.buffer.hit`` / ``index.buffer.miss``.
+
+    The buffer pool is the one index component whose counters increment
+    inline at the traversal site (it keeps no deltas for the end-of-run
+    absorb step), so the counters must match the pool's own accounting
+    exactly — and must cost nothing when no observation is active.
+    """
+
+    def _observed_workload(self, dataset, pool):
+        from repro.obs import MemorySink, Observation, observe
+
+        dataset.tree.pager = pool
+        with observe(Observation(sink=MemorySink())) as observation:
+            rng = random.Random(9)
+            for _ in range(30):
+                x, y = rng.random() * 0.9, rng.random() * 0.9
+                list(search_items(dataset.tree, Rect(x, y, x + 0.1, y + 0.1)))
+            return observation.registry.snapshot()["counters"]
+
+    def test_window_queries_emit_hit_and_miss_counters(self):
+        dataset = uniform_dataset(1_500, 0.1, random.Random(6))
+        pool = BufferPool(capacity=64)
+        counters = self._observed_workload(dataset, pool)
+        assert counters["index.buffer.hit"] == pool.hits
+        assert counters["index.buffer.miss"] == pool.misses
+        assert counters["index.buffer.hit"] + counters["index.buffer.miss"] == (
+            pool.accesses
+        )
+        assert pool.hits > 0 and pool.misses > 0
+
+    def test_knn_queries_emit_counters(self):
+        from repro.index.queries import nearest_neighbors
+        from repro.obs import MemorySink, Observation, observe
+
+        dataset = uniform_dataset(800, 0.1, random.Random(7))
+        pool = BufferPool(capacity=32)
+        dataset.tree.pager = pool
+        with observe(Observation(sink=MemorySink())) as observation:
+            nearest_neighbors(dataset.tree, 0.5, 0.5, k=5)
+            counters = observation.registry.snapshot()["counters"]
+        assert counters["index.buffer.hit"] + counters["index.buffer.miss"] == (
+            pool.accesses
+        )
+
+    def test_no_counters_without_pager(self):
+        from repro.obs import MemorySink, Observation, observe
+
+        dataset = uniform_dataset(400, 0.1, random.Random(8))
+        assert dataset.tree.pager is None
+        with observe(Observation(sink=MemorySink())) as observation:
+            list(search_items(dataset.tree, Rect(0, 0, 1, 1)))
+            counters = observation.registry.snapshot()["counters"]
+        assert "index.buffer.hit" not in counters
+        assert "index.buffer.miss" not in counters

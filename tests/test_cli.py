@@ -28,6 +28,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--algorithm", "quantum"])
 
+    @pytest.mark.parametrize("value", ["0", "-1", "-16", "two"])
+    @pytest.mark.parametrize("flag", ["--workers", "--restarts"])
+    def test_solve_rejects_nonpositive_counts(self, flag, value, capsys):
+        # a zero/negative pool size must die in argparse with a clear
+        # message, not surface later as a ProcessPoolExecutor crash
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["solve", flag, value])
+        assert excinfo.value.code == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.executor == "process"
+        assert args.dataset == [] and args.instance == []
+
+    def test_query_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_query_parses_solve_fields(self):
+        args = build_parser().parse_args(
+            [
+                "query", "--port", "7447", "--instance", "demo",
+                "--deadline", "1.5", "--seed", "9", "--no-cache",
+            ]
+        )
+        assert args.op == "solve"
+        assert args.deadline == 1.5
+        assert args.no_cache is True
+
 
 class TestSolveCommand:
     def run(self, argv, capsys):

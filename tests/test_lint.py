@@ -1,4 +1,4 @@
-"""Fixture tests for the repro-lint checker suite (rules RL001–RL006).
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL007).
 
 Each rule gets one known-good and one known-bad snippet; the suite also
 covers suppressions, the JSON report round-trip, the CLI exit contract,
@@ -38,9 +38,9 @@ def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
     return lint_source(source, path=path, **kwargs)
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert set(all_checkers()) >= {
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
     }
 
 
@@ -381,6 +381,67 @@ def test_rl006_registry_loaded_from_root():
     assert context.obs_names is not None
     assert "gils.climb" in context.obs_names
     assert "index.node_reads" in context.obs_names
+
+
+# ----------------------------------------------------------------------
+# RL007 — service budget discipline
+# ----------------------------------------------------------------------
+SERVICE_PATH = "src/repro/service/worker.py"
+
+RL007_GOOD = """
+from ..core.parallel import parallel_restarts
+
+def run(instance, ticket, job):
+    return parallel_restarts(
+        instance, ticket.budget(job.max_iterations), seed=job.seed, workers=1
+    )
+"""
+
+RL007_GOOD_KEYWORD = """
+from ..core.budget import Budget
+from ..core.gils import guided_indexed_local_search
+
+def run(instance, deadline):
+    solve_budget = Budget(time_limit=deadline)
+    return guided_indexed_local_search(instance, budget=solve_budget)
+"""
+
+RL007_BAD = """
+from ..core.parallel import parallel_restarts
+
+def run(instance, job):
+    return parallel_restarts(instance, seed=job.seed, workers=1)
+"""
+
+
+def test_rl007_good_ticket_budget():
+    assert not lint(RL007_GOOD, path=SERVICE_PATH, select=["RL007"])
+
+
+def test_rl007_good_budget_keyword():
+    assert not lint(RL007_GOOD_KEYWORD, path=SERVICE_PATH, select=["RL007"])
+
+
+def test_rl007_bad_unbounded_solver_call():
+    findings = lint(RL007_BAD, path=SERVICE_PATH, select=["RL007"])
+    assert len(findings) == 1
+    assert findings[0].rule == "RL007"
+    assert "unbounded" in findings[0].message
+
+
+def test_rl007_only_applies_inside_service():
+    assert not lint(RL007_BAD, path=CORE_PATH, select=["RL007"])
+    assert not lint(
+        RL007_BAD, path="tests/test_service.py", select=["RL007"]
+    )
+
+
+def test_rl007_ignores_non_solver_calls():
+    source = """
+def build(record):
+    return solve_request("r1", instance=record["instance"])
+"""
+    assert not lint(source, path=SERVICE_PATH, select=["RL007"])
 
 
 # ----------------------------------------------------------------------

@@ -309,6 +309,7 @@ def test_event_types_cover_the_documented_vocabulary():
         "local_maximum",
         "restart",
         "crossover",
+        "request",
     }
 
 
@@ -527,3 +528,33 @@ def test_summarize_trace_and_phase_rows():
     by_name = {row[0]: row for row in rows}
     assert by_name["gils.seed"][3] == "-"
     assert by_name["gils.climb"][3] == 25
+
+
+def test_summarize_trace_requests_and_buffer_sections():
+    observation, sink, clock = fresh_observation()
+    observation.event("request", op="ping", status="ok", elapsed=0.001)
+    observation.event("request", op="solve", status="ok", elapsed=0.25)
+    observation.event("request", op="solve", status="error", elapsed=0.002)
+    observation.counter("index.buffer.hit").inc(30)
+    observation.counter("index.buffer.miss").inc(10)
+    observation.emit_metrics()
+
+    summary = summarize_trace(sink.records)
+    assert summary["requests"] == {
+        "count": 3,
+        "by_status": {"ok": 2, "error": 1},
+        "elapsed": pytest.approx(0.253),
+    }
+    assert summary["buffer"]["hits"] == 30
+    assert summary["buffer"]["misses"] == 10
+    assert summary["buffer"]["hit_ratio"] == pytest.approx(0.75)
+
+
+def test_summarize_trace_sections_absent_without_data():
+    observation, sink, clock = fresh_observation()
+    with observation.span("gils.run"):
+        pass
+    observation.emit_metrics()
+    summary = summarize_trace(sink.records)
+    assert summary["requests"] is None
+    assert summary["buffer"] is None
