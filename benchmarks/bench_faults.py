@@ -1,0 +1,106 @@
+"""Fault-hook bench — the cost of robustness when nothing is injected.
+
+The fault-injection sites (:func:`repro.faults.fault_point`,
+:func:`repro.faults.checkpoint_incumbent`) sit on the solver's incumbent
+path and at member dispatch, so their *disabled* cost is paid by every
+production run.  This bench measures:
+
+* **fault_point (disabled)** — per-call cost with no plan active;
+* **checkpoint_incumbent (disabled)** — per-call cost with no hook set;
+* **warm solve** — an inline ``parallel_restarts`` solve (best-of-N);
+* **overhead** — the disabled hooks' share of that solve, computed from
+  the number of hook invocations the solve actually performs (one
+  dispatch site per member plus one incumbent publication per milestone).
+
+The acceptance gate: disabled hooks stay under 2% of solve time.
+Results land in ``BENCH_faults.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import Budget, QueryGraph, hard_instance
+from repro.bench import format_table, write_json
+from repro.core.parallel import parallel_restarts
+from repro.faults import SITE_MEMBER_PROGRESS, checkpoint_incumbent, fault_point
+
+_RESULTS: list[dict] = []
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_faults.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    yield
+    if not _RESULTS:
+        return
+    rows = [[r["section"], r["value"], r["unit"]] for r in _RESULTS]
+    record_table(
+        format_table(
+            "Fault-hook bench — disabled-path overhead",
+            ["section", "value", "unit"],
+            rows,
+            precision=6,
+        )
+    )
+    write_json(_JSON_PATH, {"sections": _RESULTS})
+
+
+def _record(section: str, value: float, unit: str) -> None:
+    _RESULTS.append({"section": section, "value": value, "unit": unit})
+
+
+def _per_call_seconds(callable_, calls: int, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(calls):
+            callable_()
+        best = min(best, time.perf_counter() - started)
+    return best / calls
+
+
+def test_disabled_hook_overhead():
+    calls = scaled_int(100_000, minimum=10_000)
+
+    fault_point_s = _per_call_seconds(
+        lambda: fault_point(SITE_MEMBER_PROGRESS, index=0, attempt=0, hit=0), calls
+    )
+    checkpoint_s = _per_call_seconds(
+        lambda: checkpoint_incumbent((1, 2, 3), 4, 0.5, 0.01, 100), calls
+    )
+    _record("fault_point_disabled", fault_point_s * 1e9, "ns/call")
+    _record("checkpoint_disabled", checkpoint_s * 1e9, "ns/call")
+
+    iterations = scaled_int(2_000)
+    cardinality = scaled_int(300, minimum=60)
+    instance = hard_instance(QueryGraph.chain(3), cardinality=cardinality, seed=5)
+
+    best_solve = float("inf")
+    milestones = 0
+    for _ in range(3):
+        started = time.perf_counter()
+        result = parallel_restarts(
+            instance, Budget.iterations(iterations), seed=0, heuristic="gils",
+            restarts=2, workers=1,
+        )
+        elapsed = time.perf_counter() - started
+        if elapsed < best_solve:
+            best_solve = elapsed
+            milestones = result.milestones
+    _record("warm_solve", best_solve, "s")
+
+    # hooks the solve actually executed: one dispatch fault_point per member
+    # plus one checkpoint publication per incumbent improvement
+    hook_seconds = 2 * fault_point_s + max(1, milestones) * checkpoint_s
+    overhead_pct = 100.0 * hook_seconds / best_solve
+    _record("disabled_overhead", overhead_pct, "%")
+    assert overhead_pct < 2.0, (
+        f"disabled fault hooks cost {overhead_pct:.3f}% of a warm solve "
+        "(budget: 2%)"
+    )

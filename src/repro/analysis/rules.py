@@ -1,4 +1,4 @@
-"""The repro project's invariant checkers (rules RL001–RL007).
+"""The repro project's invariant checkers (rules RL001–RL008).
 
 Each rule encodes one convention the engine's correctness or
 reproducibility depends on; see ``docs/static-analysis.md`` for the full
@@ -16,6 +16,9 @@ RL006             span/metric names that are not dotted-lowercase
                   literals registered in ``obs/names.py``
 RL007             solver invocations in ``service/`` that bypass the
                   deadline :class:`Budget` machinery
+RL008             broad ``except`` clauses in ``service/`` and
+                  ``core/parallel.py`` that neither re-raise nor map
+                  through :func:`classify_exception`
 ================  ====================================================
 """
 
@@ -35,6 +38,7 @@ __all__ = [
     "BudgetDiscipline",
     "ObservabilityNames",
     "ServiceBudgetDiscipline",
+    "StructuredErrorHandling",
 ]
 
 
@@ -707,4 +711,89 @@ class ServiceBudgetDiscipline(Checker):
                 return True
             if isinstance(sub, ast.Attribute) and "budget" in sub.attr.lower():
                 return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL008 — structured error handling on recovery paths
+# ----------------------------------------------------------------------
+@register
+class StructuredErrorHandling(Checker):
+    """Broad ``except`` clauses on recovery paths classify or re-raise.
+
+    The fault-tolerance contract (``docs/robustness.md``) hinges on every
+    failure in the service layer and the parallel supervisor being turned
+    into a *structured* outcome: a protocol error code with an honest
+    ``retryable`` flag, or a supervised retry.  A ``try``/``except
+    Exception: pass`` (or a handler that quietly substitutes a default)
+    re-opens the exact hole the classifier closed — a crashed worker
+    surfaces as a silent wrong answer instead of a retryable
+    ``worker_crashed``.  RL008 therefore requires each handler in
+    ``service/`` and ``core/parallel.py`` that catches bare ``except:``,
+    ``Exception`` or ``BaseException`` to either re-raise somewhere in its
+    body or route the exception through
+    :func:`repro.service.errors.classify_exception`.
+    """
+
+    rule = "RL008"
+    description = (
+        "broad except clauses in service/ and core/parallel.py must "
+        "re-raise or classify_exception"
+    )
+
+    #: catching any of these without classification hides the failure class
+    BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+    #: the structured mapping functions that legitimise a broad handler
+    CLASSIFIERS = frozenset({"classify_exception"})
+
+    def applies(self, module: Module) -> bool:
+        return not _in_tests(module) and (
+            module.in_directory("service")
+            or module.path_endswith("core/parallel.py")
+        )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._broad_name(node.type)
+            if caught is None:
+                continue
+            if self._handles_structurally(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"handler catches {caught} without re-raising or mapping "
+                "through classify_exception; the failure class is lost",
+                hint="catch the specific exceptions, re-raise after cleanup, "
+                "or map via repro.service.errors.classify_exception so the "
+                "caller sees a structured, honestly-retryable error",
+            )
+
+    def _broad_name(self, node: ast.expr | None) -> str | None:
+        """The broad exception this handler catches, or ``None``."""
+        if node is None:
+            return "everything (bare except)"
+        candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+        for candidate in candidates:
+            dotted = _dotted(candidate)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in (
+                self.BROAD_EXCEPTIONS
+            ):
+                return dotted
+        return None
+
+    def _handles_structurally(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                callee = _dotted(node.func)
+                if (
+                    callee is not None
+                    and callee.rsplit(".", 1)[-1] in self.CLASSIFIERS
+                ):
+                    return True
         return False

@@ -19,6 +19,10 @@ Commands
 ``serve`` / ``query``
     Run the deadline-driven join service (:mod:`repro.service`) over
     registered datasets / issue one request against a running server.
+``chaos``
+    Fire a burst of deadline-bounded queries at a running server (usually
+    one started with ``serve --fault-plan``) and assert the robustness
+    contract: every query gets a structured answer, none drop.
 
 Example::
 
@@ -28,6 +32,8 @@ Example::
     python -m repro.cli trace summarize out.jsonl
     python -m repro.cli serve --instance demo=./demo-dir --port 7447
     python -m repro.cli query --port 7447 --instance demo --deadline 2.0
+    python -m repro.cli serve --instance demo=./demo-dir --fault-plan plan.json
+    python -m repro.cli chaos --port 7447 --instance demo --queries 12
 """
 
 from __future__ import annotations
@@ -73,6 +79,7 @@ from .obs import (
     read_trace,
     summarize_trace,
 )
+from .faults import FaultPlan, run_chaos_queries
 from .query import hard_instance, load_instance, planted_instance, save_instance
 from .service import DatasetRegistry, JoinClient, JoinServer
 
@@ -219,6 +226,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heuristic when a request names none")
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="write the JSONL request log / event trace")
+    serve.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="JSON fault-injection plan activated in the "
+                       "solve workers (chaos testing)")
+
+    chaos = commands.add_parser(
+        "chaos", help="storm a running join service and check the "
+        "no-dropped-connections contract"
+    )
+    chaos.add_argument("--host", default="127.0.0.1")
+    chaos.add_argument("--port", type=int, required=True)
+    chaos.add_argument("--instance", required=True,
+                       help="registered instance name to solve")
+    chaos.add_argument("--queries", type=_positive_int, default=12)
+    chaos.add_argument("--deadline", type=float, default=2.0,
+                       help="per-query deadline (s)")
+    chaos.add_argument("--max-iterations", type=_positive_int, default=2_000)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--retry-attempts", type=_positive_int, default=4,
+                       help="client retry budget per query")
+    chaos.add_argument("--expect-recovered", type=int, default=0,
+                       help="fail unless at least this many answers "
+                       "recovered from a worker crash")
 
     query = commands.add_parser(
         "query", help="issue one request against a running join service"
@@ -258,6 +287,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rerun": _cmd_rerun,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "chaos": _cmd_chaos,
     }[args.command]
     return int(handler(args) or 0)
 
@@ -471,6 +501,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if buffer is not None:
         print(f"buffer pool: {buffer['hits']} hits / {buffer['misses']} misses "
               f"(hit ratio {buffer['hit_ratio']:.3f})")
+    faults = summary["faults"]
+    if faults is not None:
+        detail = ", ".join(
+            f"{name.replace('_', ' ')}={faults[name]}"
+            for name in ("crashes", "hangs", "corruptions", "retries",
+                         "rebuilds", "recovered_members", "lost_members")
+            if faults[name]
+        )
+        print(f"faults: {detail or 'none recorded'}")
     metrics = summary["metrics"]
     if metrics and metrics.get("counters"):
         print(format_table(
@@ -524,6 +563,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as error:
         print(f"registration failed: {error}", file=sys.stderr)
         return 1
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"cannot load fault plan: {error}", file=sys.stderr)
+            return 1
     server = JoinServer(
         registry,
         host=args.host,
@@ -536,6 +582,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         cache_ttl=args.cache_ttl,
         default_algorithm=args.algorithm,
+        fault_plan=fault_plan,
     )
 
     async def _serve() -> None:
@@ -546,6 +593,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"datasets: {registry.dataset_names() or '-'}, "
               f"instances: {registry.instance_names() or '-'})",
               flush=True)
+        if fault_plan is not None:
+            print(f"fault plan active: {len(fault_plan.specs)} spec(s) at "
+                  f"{sorted(fault_plan.sites())}", flush=True)
         try:
             await server.wait_for_shutdown()
         finally:
@@ -615,6 +665,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
               f"elapsed={response['elapsed']:.3f}s")
         print(f"assignment: {response['assignment']}")
         return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    try:
+        tally = run_chaos_queries(
+            args.host,
+            args.port,
+            instance=args.instance,
+            queries=args.queries,
+            deadline=args.deadline,
+            max_iterations=args.max_iterations,
+            seed=args.seed,
+            retry_attempts=args.retry_attempts,
+        )
+    except OSError as error:
+        print(f"cannot connect to {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    codes = ", ".join(
+        f"{code}={count}" for code, count in sorted(tally["codes"].items())
+    )
+    print(f"chaos: {tally['queries']} queries — {tally['ok']} ok "
+          f"({tally['exact']} exact, {tally['approximate']} approximate, "
+          f"{tally['recovered']} recovered), "
+          f"{tally['retryable_errors']} retryable errors, "
+          f"{tally['dropped']} dropped"
+          + (f" [codes: {codes}]" if codes else ""))
+    failed = False
+    if tally["dropped"]:
+        print(f"FAIL: {tally['dropped']} query(ies) dropped without a "
+              "structured response", file=sys.stderr)
+        failed = True
+    if tally["recovered"] < args.expect_recovered:
+        print(f"FAIL: expected >= {args.expect_recovered} recovered answers, "
+              f"saw {tally['recovered']}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_rerun(args: argparse.Namespace) -> None:

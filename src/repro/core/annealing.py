@@ -28,6 +28,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from ..faults import checkpoint_incumbent
 from ..index.queries import search_predicate
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
 from ..obs import current
@@ -97,6 +98,9 @@ def indexed_simulated_annealing(
     best_values = state.as_tuple()
     best_violations = state.violations
     trace.record(budget.elapsed(), 0, best_violations, state.similarity)
+    checkpoint_incumbent(
+        best_values, best_violations, state.similarity, budget.elapsed(), 0
+    )
     iterations = 0
     accepted = 0
     num_variables = evaluator.num_variables
@@ -126,6 +130,10 @@ def indexed_simulated_annealing(
                 best_values = state.as_tuple()
                 trace.record(
                     budget.elapsed(), iterations, best_violations, state.similarity
+                )
+                checkpoint_incumbent(
+                    best_values, best_violations, state.similarity,
+                    budget.elapsed(), iterations,
                 )
 
     obs.counter("isa.proposals").inc(iterations)

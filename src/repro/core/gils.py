@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..faults import checkpoint_incumbent
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
 from ..obs import current
 from ..query import ProblemInstance
@@ -81,6 +82,9 @@ def guided_indexed_local_search(
         best_values = state.as_tuple()
         best_violations = state.violations
         trace.record(budget.elapsed(), 0, best_violations, state.similarity)
+        checkpoint_incumbent(
+            best_values, best_violations, state.similarity, budget.elapsed(), 0
+        )
         iterations = 0
         local_maxima = 0
 
@@ -91,6 +95,10 @@ def guided_indexed_local_search(
                 best_values = candidate.as_tuple()
                 trace.record(
                     budget.elapsed(), iterations, best_violations, candidate.similarity
+                )
+                checkpoint_incumbent(
+                    best_values, best_violations, candidate.similarity,
+                    budget.elapsed(), iterations,
                 )
 
         done = config.stop_on_exact and state.is_exact

@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..faults import checkpoint_incumbent
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
 from ..obs import current
 from ..query import ProblemInstance
@@ -85,6 +86,10 @@ def indexed_local_search(
             best_values = state.as_tuple()
             trace.record(
                 budget.elapsed(), iterations, best_violations, state.similarity
+            )
+            checkpoint_incumbent(
+                best_values, best_violations, state.similarity,
+                budget.elapsed(), iterations,
             )
 
     done = False

@@ -43,6 +43,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..faults import checkpoint_incumbent
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
 from ..obs import current
 from ..query import ProblemInstance
@@ -140,6 +141,10 @@ def spatial_evolutionary_algorithm(
                 best_values = state.as_tuple()
                 trace.record(
                     budget.elapsed(), generation, best_violations, state.similarity
+                )
+                checkpoint_incumbent(
+                    best_values, best_violations, state.similarity,
+                    budget.elapsed(), generation,
                 )
                 return True
             return False

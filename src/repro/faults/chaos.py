@@ -1,0 +1,195 @@
+"""Chaos scenarios: canned fault plans and a deadline-bounded query storm.
+
+The plan builders return :class:`~repro.faults.plan.FaultPlan` objects for
+the recovery paths the test-suite (and the CI ``chaos-smoke`` job) must
+exercise — each is one line at the call site instead of a hand-rolled spec
+dict, and the names double as documentation of the supported scenarios.
+
+:func:`run_chaos_queries` is the client half of the smoke test: fire a
+sequence of deadline-bounded solves at a (fault-injected) server through a
+retrying client and tally what came back.  The contract it checks is the
+robustness tentpole's: *zero dropped connections* — every request ends in
+an exact answer, an approximate answer, or a structured retryable error.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .hooks import (
+    SITE_MEMBER_PROGRESS,
+    SITE_MEMBER_RESULT,
+    SITE_MEMBER_START,
+    SITE_SERVICE_JOB,
+)
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "crash_member",
+    "crash_after_improvements",
+    "hang_member",
+    "corrupt_member",
+    "crash_every_nth_job",
+    "crash_jobs_fraction",
+    "run_chaos_queries",
+]
+
+
+def crash_member(*indices: int, times: int = 1) -> FaultPlan:
+    """Kill the given parallel-search members as they start."""
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                site=SITE_MEMBER_START,
+                kind="crash",
+                indices=tuple(indices),
+                times=times,
+            ),
+        )
+    )
+
+
+def crash_after_improvements(index: int, improvements: int, times: int = 1) -> FaultPlan:
+    """Kill member ``index`` at its ``improvements``-th incumbent improvement.
+
+    The improvements before the crash have already been checkpointed, so
+    this is the scenario proving ``parallel_restarts`` returns the best
+    pre-crash incumbent.
+    """
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                site=SITE_MEMBER_PROGRESS,
+                kind="crash",
+                indices=(index,),
+                on_hit=improvements,
+                times=times,
+            ),
+        )
+    )
+
+
+def hang_member(*indices: int, delay: float = 30.0, times: int = 1) -> FaultPlan:
+    """Wedge the given members for ``delay`` seconds as they start."""
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                site=SITE_MEMBER_START,
+                kind="hang",
+                indices=tuple(indices),
+                delay=delay,
+                times=times,
+            ),
+        )
+    )
+
+
+def corrupt_member(*indices: int, times: int = 1) -> FaultPlan:
+    """Tamper the given members' results so validation must catch them."""
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                site=SITE_MEMBER_RESULT,
+                kind="corrupt",
+                indices=tuple(indices),
+                times=times,
+            ),
+        )
+    )
+
+
+def crash_every_nth_job(n: int, times: int = 1) -> FaultPlan:
+    """Kill every ``n``-th solve job a service worker picks up."""
+    return FaultPlan(
+        specs=(FaultSpec(site=SITE_SERVICE_JOB, kind="crash", every=n, times=times),)
+    )
+
+
+def crash_jobs_fraction(fraction: float, seed: int = 0, times: int = 1) -> FaultPlan:
+    """Kill roughly ``fraction`` of solve jobs, chosen deterministically.
+
+    The victims are fixed by the BLAKE2b hash of ``(seed, site, job
+    index)``, so two runs of the same workload kill the same jobs.
+    """
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                site=SITE_SERVICE_JOB,
+                kind="crash",
+                probability=fraction,
+                times=times,
+            ),
+        ),
+    )
+
+
+def run_chaos_queries(
+    host: str,
+    port: int,
+    *,
+    instance: str,
+    queries: int,
+    deadline: float = 2.0,
+    max_iterations: int | None = 2_000,
+    seed: int = 0,
+    retry_attempts: int = 4,
+) -> dict[str, Any]:
+    """Fire ``queries`` deadline-bounded solves at a running server.
+
+    Every request goes through a retrying :class:`JoinClient`; responses
+    are tallied into::
+
+        {"queries", "ok", "exact", "approximate", "recovered",
+         "retryable_errors", "dropped", "codes": {code: count}}
+
+    ``recovered`` counts answers the server produced only after surviving
+    a worker crash mid-job; ``dropped`` counts connections that died
+    without a structured response — the number the chaos contract requires
+    to be zero.
+    """
+    # lazy import: repro.service imports this package at module level
+    from ..service.client import JoinClient, RetryPolicy
+
+    tally: dict[str, Any] = {
+        "queries": queries,
+        "ok": 0,
+        "exact": 0,
+        "approximate": 0,
+        "recovered": 0,
+        "retryable_errors": 0,
+        "dropped": 0,
+        "codes": {},
+    }
+    policy = RetryPolicy(attempts=retry_attempts, seed=seed)
+    with JoinClient(host, port, retry=policy) as client:
+        for number in range(queries):
+            fields: dict[str, Any] = {
+                "instance": instance,
+                "deadline": deadline,
+                "seed": seed + number,
+                "cache": False,
+            }
+            if max_iterations is not None:
+                fields["max_iterations"] = max_iterations
+            try:
+                response = client.solve(check=False, **fields)
+            except ConnectionError:
+                tally["dropped"] += 1
+                continue
+            if response.get("status") == "ok":
+                tally["ok"] += 1
+                tally["exact" if response.get("exact") else "approximate"] += 1
+                if response.get("recovered"):
+                    tally["recovered"] += 1
+            else:
+                error = response.get("error", {})
+                code = str(error.get("code", "?"))
+                tally["codes"][code] = tally["codes"].get(code, 0) + 1
+                if error.get("retryable"):
+                    tally["retryable_errors"] += 1
+                else:
+                    # a non-retryable error under chaos is a contract
+                    # violation, surfaced like a drop
+                    tally["dropped"] += 1
+    return tally

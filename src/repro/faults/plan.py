@@ -1,0 +1,221 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is a picklable, JSON-serialisable description of the
+faults to inject into a run: *which* named site fires, *what* kind of
+fault, and *when* (by member/job index, by hit count, every N-th index,
+or with a deterministic pseudo-probability).  Determinism is the design
+constraint everything else follows from:
+
+* triggering never consults process state — it is a pure function of the
+  plan and the explicit ``(site, index, attempt, hit)`` coordinates the
+  instrumented code passes to :func:`repro.faults.hooks.fault_point`, so
+  the same plan fires identically regardless of worker count, dispatch
+  order, or how many processes share it;
+* probabilistic triggering hashes ``(seed, site, index)`` with BLAKE2b
+  instead of drawing from an RNG, so firing one fault never shifts
+  another fault's decision;
+* a spec stops firing once ``attempt`` reaches :attr:`FaultSpec.times`
+  (default 1) — a retried member/job runs clean, which is what makes
+  crash-then-retry byte-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: every fault kind a spec may name
+FAULT_KINDS = ("crash", "hang", "slow", "error", "corrupt")
+
+#: hang faults without an explicit delay sleep this long (far past any
+#: reasonable supervision timeout, small enough that a leaked sleeper in a
+#: test process exits eventually)
+DEFAULT_HANG_SECONDS = 30.0
+
+
+def _hash_unit(seed: int, site: str, index: int) -> float:
+    """A deterministic value in [0, 1) for one (seed, site, index) triple."""
+    digest = hashlib.blake2b(
+        f"{seed}:{site}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a target site, and a deterministic trigger rule.
+
+    Trigger fields compose with AND semantics; fields left ``None`` do not
+    constrain.  A spec with no trigger fields fires on every visit of its
+    site (while ``attempt < times``).
+
+    ``indices``
+        fire only when the visiting index is in this set.
+    ``every``
+        fire when ``(index + 1) % every == 0`` — "every N-th member/job".
+    ``on_hit``
+        fire at exactly the ``on_hit``-th hit of the site (sites that count
+        hits pass them explicitly — e.g. the k-th incumbent improvement).
+    ``probability``
+        fire when the BLAKE2b hash of ``(plan seed, site, index)`` lands
+        under this fraction; deterministic per coordinate, independent
+        across coordinates.
+    ``times``
+        stop firing once ``attempt`` reaches this count (default 1: the
+        first retry runs clean).
+    ``delay``
+        seconds slept by ``hang``/``slow`` faults (hang defaults to
+        :data:`DEFAULT_HANG_SECONDS` when 0).
+    """
+
+    site: str
+    kind: str
+    indices: tuple[int, ...] | None = None
+    every: int | None = None
+    on_hit: int | None = None
+    probability: float | None = None
+    times: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if not self.site:
+            raise ValueError("fault site must be a non-empty string")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be within [0, 1], got {self.probability}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+        if self.indices is not None:
+            object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+
+    def matches(self, seed: int, site: str, index: int, attempt: int, hit: int) -> bool:
+        """Does this spec fire at the given coordinates under ``seed``?"""
+        if site != self.site or attempt >= self.times:
+            return False
+        if self.indices is not None and index not in self.indices:
+            return False
+        if self.every is not None and (index + 1) % self.every != 0:
+            return False
+        if self.on_hit is not None and hit != self.on_hit:
+            return False
+        if self.probability is not None:
+            return _hash_unit(seed, site, index) < self.probability
+        return True
+
+    def hang_seconds(self) -> float:
+        """Sleep duration of a ``hang``/``slow`` firing."""
+        if self.delay > 0:
+            return self.delay
+        return DEFAULT_HANG_SECONDS if self.kind == "hang" else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.indices is not None:
+            record["indices"] = list(self.indices)
+        if self.every is not None:
+            record["every"] = self.every
+        if self.on_hit is not None:
+            record["on_hit"] = self.on_hit
+        if self.probability is not None:
+            record["probability"] = self.probability
+        if self.times != 1:
+            record["times"] = self.times
+        if self.delay:
+            record["delay"] = self.delay
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "FaultSpec":
+        known = {
+            "site", "kind", "indices", "every", "on_hit", "probability",
+            "times", "delay",
+        }
+        unknown = set(record) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec fields {sorted(unknown)}")
+        indices = record.get("indices")
+        return cls(
+            site=str(record["site"]),
+            kind=str(record["kind"]),
+            indices=tuple(indices) if indices is not None else None,
+            every=record.get("every"),
+            on_hit=record.get("on_hit"),
+            probability=record.get("probability"),
+            times=int(record.get("times", 1)),
+            delay=float(record.get("delay", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded collection of fault specs, serialisable end to end.
+
+    Plans cross process boundaries constantly (pool initargs, CLI
+    ``--fault-plan`` files), so everything round-trips through plain JSON
+    via :meth:`to_dict`/:meth:`from_dict`.
+    """
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def match(
+        self, site: str, index: int = 0, attempt: int = 0, hit: int = 0
+    ) -> FaultSpec | None:
+        """The first spec firing at these coordinates, or ``None``."""
+        for spec in self.specs:
+            if spec.matches(self.seed, site, index, attempt, hit):
+                return spec
+        return None
+
+    def sites(self) -> frozenset[str]:
+        return frozenset(spec.site for spec in self.specs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any] | None) -> "FaultPlan | None":
+        """Rebuild a plan from :meth:`to_dict` output (``None`` passes through)."""
+        if record is None:
+            return None
+        specs = record.get("specs", [])
+        if not isinstance(specs, Iterable) or isinstance(specs, (str, bytes)):
+            raise ValueError("fault plan 'specs' must be a list of objects")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(spec) for spec in specs),
+            seed=int(record.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        plan = cls.from_dict(json.loads(text))
+        assert plan is not None
+        return plan
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI ``--fault-plan`` format)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -94,6 +94,14 @@ METRIC_NAMES = frozenset(
         "service.shed",
         "service.approximate",
         "service.latency",
+        # fault injection & recovery (parallel supervision + service)
+        "faults.crashes",
+        "faults.hangs",
+        "faults.corruptions",
+        "faults.retries",
+        "faults.rebuilds",
+        "faults.recovered_members",
+        "faults.lost_members",
     }
 )
 

@@ -29,12 +29,16 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
           "local_maxima": <count>, "restarts": <count>, "crossovers": <count>,
           "requests": {"count", "by_status", "elapsed"} or None,
           "buffer": {"hits", "misses", "hit_ratio"} or None,
+          "faults": {"crashes", "hangs", "corruptions", "retries",
+            "rebuilds", "recovered_members", "lost_members"} or None,
           "metrics": last metric_snapshot payload or None,
         }
 
     ``requests`` aggregates the service request log; ``buffer`` reads the
     ``index.buffer.*`` counters out of the final metric snapshot (present
-    only when a buffer pool was attached during the run).
+    only when a buffer pool was attached during the run); ``faults`` reads
+    the ``faults.*`` recovery counters the same way (present only when
+    faults were injected or recovered from during the run).
 
     ``node_reads`` per phase is ``None`` when no span of that name carried
     an io probe, otherwise the sum over probed spans.
@@ -104,6 +108,22 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
                 "misses": misses,
                 "hit_ratio": (hits / accesses) if accesses else 0.0,
             }
+    faults: Optional[dict[str, Any]] = None
+    if metrics is not None:
+        counters = metrics.get("counters", {})
+        observed = {
+            key.split(".", 1)[1]: int(value)
+            for key, value in counters.items()
+            if key.startswith("faults.")
+        }
+        if observed:
+            faults = {
+                name: observed.get(name, 0)
+                for name in (
+                    "crashes", "hangs", "corruptions", "retries", "rebuilds",
+                    "recovered_members", "lost_members",
+                )
+            }
     return {
         "events": total,
         "members": sorted(members),
@@ -114,6 +134,7 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         "crossovers": crossovers,
         "requests": requests,
         "buffer": buffer,
+        "faults": faults,
         "metrics": metrics,
     }
 

@@ -19,13 +19,21 @@ package turns the batch library into a long-running multi-tenant server:
 Every request degrades gracefully: on deadline expiry the server returns
 the best-so-far solution flagged ``"approximate": true`` instead of
 erroring; on overload it sheds with a structured retryable error.
+
+Failures follow the same discipline (see :mod:`repro.service.errors` and
+``docs/robustness.md``): a crashed worker pool is rebuilt and the job
+re-dispatched against its remaining deadline; what cannot be recovered is
+shed with a retryable ``worker_crashed``/``timeout`` error — never a
+dropped connection.  :class:`RetryPolicy` is the client half of that
+contract.
 """
 
 from __future__ import annotations
 
 from .admission import AdmissionController, Ticket
 from .cache import CacheEntry, SolutionCache, canonical_query_key, solve_cache_key
-from .client import AsyncJoinClient, JoinClient, ServiceError
+from .client import AsyncJoinClient, JoinClient, RetryPolicy, ServiceError
+from .errors import ClassifiedError, classify_exception
 from .protocol import (
     ERROR_CODES,
     PROTOCOL_VERSION,
@@ -47,7 +55,10 @@ __all__ = [
     "solve_cache_key",
     "AsyncJoinClient",
     "JoinClient",
+    "RetryPolicy",
     "ServiceError",
+    "ClassifiedError",
+    "classify_exception",
     "ERROR_CODES",
     "PROTOCOL_VERSION",
     "SOLVE_ALGORITHMS",

@@ -41,6 +41,15 @@ class Ticket:
         """Deadline seconds left, floored at :data:`MIN_SOLVE_SECONDS`."""
         return max(MIN_SOLVE_SECONDS, self.deadline - self.admitted.elapsed())
 
+    def expired(self) -> bool:
+        """Is the deadline effectively spent (nothing beyond the floor left)?
+
+        :meth:`remaining` never reports less than the floor — graceful
+        degradation always hands the worker *some* budget — so re-dispatch
+        decisions (retry a crashed job or shed it?) must ask this instead.
+        """
+        return self.deadline - self.admitted.elapsed() <= MIN_SOLVE_SECONDS
+
     def budget(self, max_iterations: int | None = None) -> Budget:
         """A fresh solve budget over the remaining deadline."""
         return Budget(time_limit=self.remaining(), max_iterations=max_iterations)

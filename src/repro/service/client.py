@@ -10,18 +10,63 @@ callers already living in an event loop.
 Both speak the schema in :mod:`repro.service.protocol`: requests are
 validated before they leave the process, so a malformed call fails fast
 locally instead of bouncing off the server.
+
+Retries honour the protocol's ``retryable`` contract: give
+:class:`JoinClient` a :class:`RetryPolicy` and ``solve`` re-sends
+requests that failed with a *retryable* error (``overloaded``,
+``worker_crashed``, ``timeout``) after capped exponential backoff with
+deterministic jitter, and transparently reconnects when the connection
+itself drops mid-request.  Non-retryable errors are never re-sent — the
+server has promised the same request would fail the same way.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from .protocol import PROTOCOL_VERSION, solve_request, validate_request
 
-__all__ = ["JoinClient", "AsyncJoinClient", "ServiceError"]
+__all__ = ["JoinClient", "AsyncJoinClient", "RetryPolicy", "ServiceError"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempts`` is the *total* number of tries (1 = no retries).  The
+    delay before retry ``k`` (0-based) is ``min(cap, base·2^k)`` scaled by
+    a jitter factor drawn from ``random.Random(seed)`` — deterministic for
+    a fixed seed, so tests can assert the exact schedule, while distinct
+    seeds de-synchronise clients that would otherwise retry in lockstep.
+    """
+
+    attempts: int = 3
+    base: float = 0.05
+    cap: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base < 0 or self.cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1], got {self.jitter}")
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule: one delay per possible retry."""
+        rng = random.Random(self.seed)
+        return [
+            min(self.cap, self.base * (2.0**k)) * (1.0 + self.jitter * rng.random())
+            for k in range(max(0, self.attempts - 1))
+        ]
 
 
 class ServiceError(RuntimeError):
@@ -61,9 +106,18 @@ class JoinClient:
     """Blocking JSON-lines client (one socket, sequential requests)."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float | None = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = 60.0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self._ids = _RequestIds("req")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry
+        self._close_state: dict[str, Any] | None = None
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._socket.makefile("r", encoding="utf-8")
 
@@ -78,9 +132,37 @@ class JoinClient:
         response: dict[str, Any] = json.loads(line)
         return response
 
-    def close(self) -> None:
-        self._reader.close()
-        self._socket.close()
+    def reconnect(self) -> None:
+        """Drop the current socket (if any) and dial the server again."""
+        self.close()
+        self._close_state = None
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+
+    def close(self) -> dict[str, Any]:
+        """Close the connection; idempotent, never raises.
+
+        Returns the structured close state — ``{"closed": True, "error":
+        None}`` on a clean close, with ``error`` describing any failure the
+        close itself hit.  Repeated calls return the same state.
+        """
+        if self._close_state is not None:
+            return self._close_state
+        state: dict[str, Any] = {"closed": True, "error": None}
+        for resource in (self._reader, self._socket):
+            try:
+                resource.close()
+            except (ConnectionError, OSError) as error:
+                state["error"] = f"{type(error).__name__}: {error}"
+        self._close_state = state
+        return state
+
+    @property
+    def close_state(self) -> dict[str, Any] | None:
+        """The result of :meth:`close`, or ``None`` while still open."""
+        return self._close_state
 
     def __enter__(self) -> "JoinClient":
         return self
@@ -114,10 +196,47 @@ class JoinClient:
         With ``check`` (the default) an error response raises
         :class:`ServiceError`; pass ``check=False`` to get the raw record —
         callers doing their own backoff on ``overloaded`` want that.
+
+        With a :class:`RetryPolicy` installed, retryable error responses
+        and dropped connections are retried up to the policy's per-call
+        attempt budget (reconnecting as needed); the final outcome is then
+        checked or returned as above.
         """
-        record = solve_request(self._ids.take(), **fields)
-        response = self.request(record)
+        if self.retry is None:
+            record = solve_request(self._ids.take(), **fields)
+            response = self.request(record)
+            return _raise_for_status(response) if check else response
+        response = self._solve_with_retry(self.retry, fields)
         return _raise_for_status(response) if check else response
+
+    def _solve_with_retry(
+        self, policy: RetryPolicy, fields: dict[str, Any]
+    ) -> dict[str, Any]:
+        delays = policy.delays()
+        last_error: ConnectionError | None = None
+        last_response: dict[str, Any] | None = None
+        for attempt in range(policy.attempts):
+            if attempt > 0:
+                time.sleep(delays[attempt - 1])
+            record = solve_request(self._ids.take(), **fields)
+            try:
+                if last_error is not None:
+                    self.reconnect()
+                    last_error = None
+                response = self.request(record)
+            except ConnectionError as error:
+                last_error = error
+                continue
+            if response.get("status") == "ok":
+                return response
+            error_payload = response.get("error", {})
+            if not error_payload.get("retryable"):
+                return response
+            last_response = response
+        if last_response is not None:
+            return last_response
+        assert last_error is not None
+        raise last_error
 
 
 class AsyncJoinClient:
@@ -127,6 +246,7 @@ class AsyncJoinClient:
         self._ids = _RequestIds("areq")
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self._close_state: dict[str, Any] | None = None
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncJoinClient":
@@ -145,13 +265,29 @@ class AsyncJoinClient:
         response: dict[str, Any] = json.loads(line)
         return response
 
-    async def close(self) -> None:
+    async def close(self) -> dict[str, Any]:
+        """Close the connection; idempotent, never raises.
+
+        Returns the structured close state (same shape as
+        :meth:`JoinClient.close`): transport errors hit while closing are
+        surfaced in ``"error"`` instead of being silently swallowed.
+        """
+        if self._close_state is not None:
+            return self._close_state
+        state: dict[str, Any] = {"closed": True, "error": None}
         if self._writer is not None:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError) as error:
+                state["error"] = f"{type(error).__name__}: {error}"
+        self._close_state = state
+        return state
+
+    @property
+    def close_state(self) -> dict[str, Any] | None:
+        """The result of :meth:`close`, or ``None`` while still open."""
+        return self._close_state
 
     async def __aenter__(self) -> "AsyncJoinClient":
         return self

@@ -1,0 +1,60 @@
+"""Structured classification of service-side failures.
+
+The server's dispatch path must never let an exception reach the socket
+unclassified: the client's retry behaviour is driven entirely by the
+``(code, retryable)`` pair in the error payload, so every failure mode
+needs a deliberate mapping.  :func:`classify_exception` is that mapping —
+and the repro-lint rule RL008 enforces that exception handlers in the
+service (and the parallel supervisor) either re-raise or route through it,
+so new failure modes cannot silently fall into a blanket ``internal``.
+
+The classification contract:
+
+``worker_crashed`` (retryable)
+    The pool (or an injected fault) killed the process running the job.
+    The request itself is fine; the server has either already rebuilt the
+    pool or will on the next dispatch, so resending is expected to work.
+``timeout`` (retryable)
+    The worker exceeded deadline + grace.  The anytime budget normally
+    returns an approximate answer *before* this fires, so hitting it means
+    the worker was wedged; retrying reaches a fresh worker.
+``internal`` (not retryable)
+    A genuine bug — an unexpected exception type.  Resending the same
+    request would deterministically hit the same bug, so clients must not
+    spin on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+
+from ..faults import InjectedCrash
+
+__all__ = ["ClassifiedError", "classify_exception"]
+
+
+@dataclass(frozen=True)
+class ClassifiedError:
+    """One failure, reduced to the protocol's error vocabulary."""
+
+    code: str
+    message: str
+
+    @classmethod
+    def of(cls, code: str, error: BaseException) -> "ClassifiedError":
+        return cls(code=code, message=f"{type(error).__name__}: {error}")
+
+
+def classify_exception(error: BaseException) -> ClassifiedError:
+    """Map one exception from the solve path to a protocol error code."""
+    if isinstance(error, (BrokenExecutor, InjectedCrash)):
+        # BrokenExecutor covers BrokenProcessPool; InjectedCrash arrives
+        # directly only from thread executors (pool workers os._exit)
+        return ClassifiedError.of("worker_crashed", error)
+    if isinstance(error, (asyncio.TimeoutError, TimeoutError)):
+        return ClassifiedError("timeout", "solve worker timed out")
+    # everything else — including an injected 'error' fault, which models
+    # exactly this case — is a genuine bug
+    return ClassifiedError.of("internal", error)

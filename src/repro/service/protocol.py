@@ -51,7 +51,9 @@ ERROR_CODES: dict[str, bool] = {
     "bad_request": False,      # malformed or schema-invalid request
     "unknown_dataset": False,  # names a dataset/instance the registry lacks
     "overloaded": True,        # shed by admission control; retry after backoff
-    "internal": True,          # worker crashed; the request itself is fine
+    "worker_crashed": True,    # pool died mid-job and the deadline ran out
+    "timeout": True,           # worker exceeded deadline + grace (wedged)
+    "internal": False,         # a genuine bug; retrying would hit it again
     "shutting_down": False,    # server is draining; connect elsewhere
 }
 

@@ -34,10 +34,12 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 from ..core.budget import Stopwatch
+from ..faults import FaultPlan, activate_plan
 from ..obs import current, merge_states, replay_into
 from ..query.hardness import ProblemInstance
 from .admission import AdmissionController
 from .cache import CacheEntry, SolutionCache, canonical_query_key, solve_cache_key
+from .errors import classify_exception
 from .protocol import (
     PROTOCOL_VERSION,
     error_response,
@@ -50,9 +52,14 @@ from .worker import SolveJob, build_query, init_service_worker, run_solve_job
 __all__ = ["JoinServer"]
 
 #: seconds of grace past a request's time budget before the server stops
-#: waiting on a worker and reports an internal error (a crashed/hung
-#: worker must not wedge the connection forever)
+#: waiting on a worker and reports a retryable ``timeout`` error (a
+#: crashed/hung worker must not wedge the connection forever)
 WORKER_GRACE_SECONDS = 30.0
+
+#: re-dispatches one request may consume after worker crashes; the
+#: remaining deadline is the real budget, this only bounds pathological
+#: crash loops inside a long deadline
+MAX_JOB_RETRIES = 3
 
 
 class JoinServer:
@@ -77,6 +84,11 @@ class JoinServer:
         Solution cache sizing; capacity ``0`` disables caching entirely.
     default_algorithm:
         Heuristic used when a solve request names none.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` activated in every
+        worker (and, for thread executors, in this process) — the chaos
+        switchboard behind ``serve --fault-plan``.  ``None`` (the
+        default) injects nothing.
     """
 
     def __init__(
@@ -93,6 +105,7 @@ class JoinServer:
         cache_capacity: int = 256,
         cache_ttl: float | None = None,
         default_algorithm: str = "gils",
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -114,8 +127,14 @@ class JoinServer:
             else None
         )
         self.default_algorithm = default_algorithm
+        self.fault_plan = fault_plan if (fault_plan is not None and fault_plan) else None
         self.requests_total = 0
         self.errors_total = 0
+        self.pool_rebuilds = 0
+        self.jobs_retried = 0
+        #: monotonic dispatch counter: the ``service.job`` fault index
+        self._jobs_dispatched = 0
+        self._previous_plan: FaultPlan | None = None
         self._executor: Executor | None = None
         #: names shipped to process workers at pool creation; anything
         #: registered later (or memory-only) is solved from an inline copy
@@ -133,21 +152,27 @@ class JoinServer:
         """``(host, port)`` actually bound (valid after :meth:`start`)."""
         return self._host, self._port
 
+    def _build_process_executor(self) -> ProcessPoolExecutor:
+        spec = self.registry.spec()
+        self._worker_names = set(spec["datasets"]) | set(spec["instances"])
+        plan_payload = self.fault_plan.to_dict() if self.fault_plan else None
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=init_service_worker,
+            initargs=(spec, plan_payload),
+        )
+
     async def start(self) -> None:
         """Warm the registry, spin up the pool, and start listening."""
         self.registry.warm()
         if self._executor is None:
             if self.executor_kind == "process":
-                spec = self.registry.spec()
-                self._worker_names = set(spec["datasets"]) | set(spec["instances"])
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=init_service_worker,
-                    initargs=(spec,),
-                )
+                self._executor = self._build_process_executor()
             else:
                 self._worker_names = None
                 self._executor = ThreadPoolExecutor(max_workers=self.workers)
+                # thread workers share this process; the plan is ambient
+                self._previous_plan = activate_plan(self.fault_plan)
         self._shutdown = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
@@ -170,6 +195,9 @@ class JoinServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+            if self.executor_kind == "thread":
+                activate_plan(self._previous_plan)
+                self._previous_plan = None
 
     async def wait_for_shutdown(self) -> None:
         """Block until a ``shutdown`` request arrives (after :meth:`start`)."""
@@ -258,8 +286,9 @@ class JoinServer:
         try:
             response = await self._dispatch(record, request_id, op)
         except Exception as error:  # noqa: BLE001 - connection must survive
+            classified = classify_exception(error)
             response = error_response(
-                request_id, op, "internal", f"{type(error).__name__}: {error}"
+                request_id, op, classified.code, classified.message
             )
         self._finish(obs, op, response, stopwatch)
         return response
@@ -305,6 +334,8 @@ class JoinServer:
             "errors_total": self.errors_total,
             "workers": self.workers,
             "executor": self.executor_kind,
+            "pool_rebuilds": self.pool_rebuilds,
+            "jobs_retried": self.jobs_retried,
             "admission": self.admission.stats(),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
@@ -415,29 +446,54 @@ class JoinServer:
                 f"{self.admission.pending} requests already in flight; retry later",
             )
         obs.gauge("service.queue.depth").set(self.admission.pending)
+        # one fault index per request, stable across re-dispatches — a
+        # "crash every N-th job" plan counts requests, not retries
+        fault_index = self._jobs_dispatched
+        self._jobs_dispatched += 1
+        attempt = 0
         try:
-            job = self._build_job(
-                record,
-                instance_name,
-                dataset_names,
-                algorithm=algorithm,
-                seed=seed,
-                restarts=restarts,
-                time_limit=ticket.remaining(),
-                max_iterations=max_iterations,
-                observe_solve=(
-                    self.executor_kind == "process" and getattr(obs, "enabled", False)
-                ),
-            )
-            payload = await self._run_job(job, timeout=ticket.remaining())
-        except asyncio.TimeoutError:
-            return error_response(
-                request_id, "solve", "internal", "solve worker timed out"
-            )
-        except Exception as error:  # noqa: BLE001 - pool crashes become errors
-            return error_response(
-                request_id, "solve", "internal", f"{type(error).__name__}: {error}"
-            )
+            while True:
+                executor_used = self._executor
+                try:
+                    job = self._build_job(
+                        record,
+                        instance_name,
+                        dataset_names,
+                        algorithm=algorithm,
+                        seed=seed,
+                        restarts=restarts,
+                        time_limit=ticket.remaining(),
+                        max_iterations=max_iterations,
+                        observe_solve=(
+                            self.executor_kind == "process"
+                            and getattr(obs, "enabled", False)
+                        ),
+                        attempt=attempt,
+                        fault_index=fault_index,
+                    )
+                    payload = await self._run_job(job, timeout=ticket.remaining())
+                    break
+                except Exception as error:  # noqa: BLE001 - every solve failure is classified
+                    classified = classify_exception(error)
+                    if classified.code != "worker_crashed":
+                        return error_response(
+                            request_id, "solve", classified.code, classified.message
+                        )
+                    obs.counter("faults.crashes").inc()
+                    self._recover_executor(executor_used)
+                    attempt += 1
+                    if ticket.expired() or attempt > MAX_JOB_RETRIES:
+                        # the deadline (or the retry bound) can no longer be
+                        # met: shed with the retryable crash code
+                        return error_response(
+                            request_id,
+                            "solve",
+                            "worker_crashed",
+                            f"worker crashed {attempt}× and the deadline "
+                            "cannot be met; retry",
+                        )
+                    self.jobs_retried += 1
+                    obs.counter("faults.retries").inc()
         finally:
             self.admission.release(ticket)
             obs.gauge("service.queue.depth").set(self.admission.pending)
@@ -462,8 +518,34 @@ class JoinServer:
                 ),
             )
         return ok_response(
-            request_id, "solve", cached=False, seed=seed, restarts=restarts, **payload
+            request_id,
+            "solve",
+            cached=False,
+            seed=seed,
+            restarts=restarts,
+            recovered=attempt > 0,
+            **payload,
         )
+
+    def _recover_executor(self, executor_used: Executor | None) -> None:
+        """Rebuild the process pool after a crash broke it.
+
+        Concurrent in-flight jobs all observe the same break; only the
+        first handler to notice (its captured executor is still the
+        installed one — handlers run on one event-loop thread, so the
+        check-and-swap cannot race) pays for the rebuild, the rest simply
+        re-dispatch onto the fresh pool.  Thread executors survive crashes
+        (an injected crash propagates as an exception), so there is
+        nothing to rebuild.
+        """
+        if self.executor_kind != "process":
+            return
+        if executor_used is None or executor_used is not self._executor:
+            return
+        executor_used.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._build_process_executor()
+        self.pool_rebuilds += 1
+        current().counter("faults.rebuilds").inc()
 
     def _build_job(
         self,
@@ -477,6 +559,8 @@ class JoinServer:
         time_limit: float,
         max_iterations: int | None,
         observe_solve: bool,
+        attempt: int = 0,
+        fault_index: int = 0,
     ) -> SolveJob:
         """A picklable job; data the pool workers lack ships inline."""
         inline: ProblemInstance | None = None
@@ -502,6 +586,8 @@ class JoinServer:
             time_limit=time_limit,
             max_iterations=max_iterations,
             observe=observe_solve,
+            attempt=attempt,
+            fault_index=fault_index,
         )
 
     async def _run_job(self, job: SolveJob, timeout: float) -> dict[str, Any]:

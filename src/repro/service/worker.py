@@ -16,11 +16,13 @@ cost is the solve itself, not dispatch.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any
 
 from ..core.budget import Budget
-from ..core.parallel import parallel_restarts
+from ..core.parallel import CRASH_EXIT_CODE, parallel_restarts
+from ..faults import SITE_SERVICE_JOB, FaultPlan, InjectedCrash, activate_plan, fault_point
 from ..obs import Observation, export_state, observe
 from ..query.graph import QueryGraph
 from ..query.hardness import ProblemInstance
@@ -64,16 +66,29 @@ class SolveJob:
     max_iterations: int | None
     #: observe the solve and ship spans/metrics back to the server
     observe: bool = False
+    #: how many times this job has already been re-dispatched after a fault
+    attempt: int = 0
+    #: server-side monotonic dispatch number — the ``service.job`` fault
+    #: site's index, stable across re-dispatches of the same request
+    fault_index: int = 0
 
 
 # Per-process state, set once by the pool initializer.
 _WORKER_REGISTRY: DatasetRegistry | None = None
+#: True only inside pool worker processes — decides whether an injected
+#: crash may genuinely kill the process (thread executors share the
+#: server's process, where exiting would take the whole service down)
+_IN_POOL_WORKER = False
 
 
-def init_service_worker(registry_spec: dict[str, Any]) -> None:
+def init_service_worker(
+    registry_spec: dict[str, Any], fault_plan: dict[str, Any] | None = None
+) -> None:
     """Pool initializer: rebuild the lazy registry inside this worker."""
-    global _WORKER_REGISTRY
+    global _WORKER_REGISTRY, _IN_POOL_WORKER
     _WORKER_REGISTRY = DatasetRegistry.from_spec(registry_spec)
+    _IN_POOL_WORKER = True
+    activate_plan(FaultPlan.from_dict(fault_plan))
 
 
 def _resolve_instance(
@@ -135,7 +150,19 @@ def run_solve_job(
     observations.  Observed jobs activate the ambient observation for the
     whole process, so servers only set ``observe`` when each worker runs
     one job at a time (the process-pool mode).
+
+    The ``service.job`` fault site fires here, before any work: a crash
+    fault kills this worker process for real (``os._exit``) so the server
+    exercises the genuine ``BrokenProcessPool`` recovery path.  In thread
+    executors the crash propagates as :class:`InjectedCrash` instead and
+    is classified by the server like any pool break.
     """
+    try:
+        fault_point(SITE_SERVICE_JOB, index=job.fault_index, attempt=job.attempt)
+    except InjectedCrash:
+        if _IN_POOL_WORKER:
+            os._exit(CRASH_EXIT_CODE)
+        raise
     instance = _resolve_instance(job, registry or _WORKER_REGISTRY)
     budget = Budget(time_limit=job.time_limit, max_iterations=job.max_iterations)
     if not job.observe:

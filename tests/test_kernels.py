@@ -41,7 +41,13 @@ from repro.geometry.kernels import (
 )
 from repro.geometry.kernels import test_pairs as kernel_test_pairs
 from repro.core.budget import Budget
-from repro.core.parallel import RunSpec, derive_seed, parallel_restarts, run_specs
+from repro.core.parallel import (
+    RunSpec,
+    derive_seed,
+    parallel_restarts,
+    run_specs,
+    run_specs_supervised,
+)
 from repro.index import RStarTree
 from repro.joins.brute import brute_force_best, brute_force_join, count_exact_solutions
 from repro.joins.pairwise import rtree_join
@@ -382,6 +388,29 @@ def test_run_specs_kernel_parity(tiny_chain_instance):
     ]
     vector = run_specs(tiny_chain_instance, specs, workers=1)
     scalar = run_specs(tiny_chain_instance, specs, workers=1, use_kernels=False)
+    for a, b in zip(vector, scalar):
+        assert a.best_assignment == b.best_assignment
+        assert a.best_violations == b.best_violations
+
+
+def test_run_specs_supervised_kernel_parity(tiny_chain_instance):
+    specs = [
+        RunSpec(
+            heuristic="ils",
+            seed=derive_seed(7, index),
+            time_limit=None,
+            max_iterations=40,
+            index=index,
+        )
+        for index in range(2)
+    ]
+    vector, vector_faults = run_specs_supervised(
+        tiny_chain_instance, specs, workers=1
+    )
+    scalar, scalar_faults = run_specs_supervised(
+        tiny_chain_instance, specs, workers=1, use_kernels=False
+    )
+    assert vector_faults is None and scalar_faults is None
     for a, b in zip(vector, scalar):
         assert a.best_assignment == b.best_assignment
         assert a.best_violations == b.best_violations

@@ -1,4 +1,4 @@
-"""Fixture tests for the repro-lint checker suite (rules RL001–RL007).
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL008).
 
 Each rule gets one known-good and one known-bad snippet; the suite also
 covers suppressions, the JSON report round-trip, the CLI exit contract,
@@ -38,9 +38,9 @@ def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
     return lint_source(source, path=path, **kwargs)
 
 
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     assert set(all_checkers()) >= {
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"
     }
 
 
@@ -442,6 +442,106 @@ def build(record):
     return solve_request("r1", instance=record["instance"])
 """
     assert not lint(source, path=SERVICE_PATH, select=["RL007"])
+
+
+# ----------------------------------------------------------------------
+# RL008 — structured error handling
+# ----------------------------------------------------------------------
+RL008_GOOD_CLASSIFIED = """
+from .errors import classify_exception
+
+def handle(request_id, op):
+    try:
+        return dispatch(op)
+    except Exception as error:
+        classified = classify_exception(error)
+        return error_response(request_id, op, classified.code, classified.message)
+"""
+
+RL008_GOOD_RERAISE = """
+def run(pool):
+    try:
+        return pool.submit(step)
+    except BaseException:
+        terminate(pool)
+        raise
+"""
+
+RL008_GOOD_SPECIFIC = """
+def close(sock):
+    try:
+        sock.close()
+    except (ConnectionError, OSError):
+        pass
+"""
+
+RL008_BAD_SWALLOWED = """
+def handle(op):
+    try:
+        return dispatch(op)
+    except Exception:
+        return None
+"""
+
+RL008_BAD_BARE = """
+def handle(op):
+    try:
+        return dispatch(op)
+    except:
+        return None
+"""
+
+RL008_BAD_TUPLE = """
+def handle(op):
+    try:
+        return dispatch(op)
+    except (ValueError, Exception) as error:
+        log(error)
+"""
+
+
+def test_rl008_classified_handler_is_clean():
+    assert not lint(RL008_GOOD_CLASSIFIED, path=SERVICE_PATH, select=["RL008"])
+
+
+def test_rl008_reraising_handler_is_clean():
+    assert not lint(RL008_GOOD_RERAISE, path=SERVICE_PATH, select=["RL008"])
+
+
+def test_rl008_specific_exceptions_are_clean():
+    assert not lint(RL008_GOOD_SPECIFIC, path=SERVICE_PATH, select=["RL008"])
+
+
+def test_rl008_swallowed_broad_handler():
+    findings = lint(RL008_BAD_SWALLOWED, path=SERVICE_PATH, select=["RL008"])
+    assert len(findings) == 1
+    assert findings[0].rule == "RL008"
+    assert "classify_exception" in findings[0].message
+
+
+def test_rl008_bare_except():
+    findings = lint(RL008_BAD_BARE, path=SERVICE_PATH, select=["RL008"])
+    assert len(findings) == 1
+    assert "bare except" in findings[0].message
+
+
+def test_rl008_broad_member_of_tuple():
+    findings = lint(RL008_BAD_TUPLE, path=SERVICE_PATH, select=["RL008"])
+    assert len(findings) == 1
+
+
+def test_rl008_applies_to_core_parallel():
+    findings = lint(
+        RL008_BAD_SWALLOWED, path="src/repro/core/parallel.py", select=["RL008"]
+    )
+    assert len(findings) == 1
+
+
+def test_rl008_out_of_scope_locations():
+    assert not lint(RL008_BAD_SWALLOWED, path=CORE_PATH, select=["RL008"])
+    assert not lint(
+        RL008_BAD_SWALLOWED, path="tests/test_service.py", select=["RL008"]
+    )
 
 
 # ----------------------------------------------------------------------
