@@ -9,8 +9,9 @@ client experiences it:
   the number is solve time plus dispatch overhead, best-of-N);
 * **cache hit** — the identical request with caching on (the full
   round-trip must be orders of magnitude below a solve);
-* **overload** — a burst against ``max_pending=1``: how many requests
-  were shed with the structured retryable error versus served.
+* **overload** — a concurrent burst against ``max_pending=4``: how many
+  requests were admitted and served versus shed with the structured
+  retryable error (both sides of the admission contract must be > 0).
 
 Results land in ``BENCH_service.json``.  The assertions are lenient
 (loopback latency on a loaded CI box is noisy); the JSON history is the
@@ -148,7 +149,7 @@ def test_overload_shedding():
         "disjoint", ProblemInstance(query=QueryGraph.chain(2), datasets=[left, right])
     )
     server = JoinServer(
-        registry, port=0, workers=1, executor="thread", max_pending=1
+        registry, port=0, workers=4, executor="thread", max_pending=4
     )
     thread = _run_server(server)
     served = 0
@@ -162,22 +163,38 @@ def test_overload_shedding():
         holding.start()
         while server.admission.pending < 1:
             time.sleep(0.005)
-        with JoinClient(*server.address) as client:
-            for _ in range(8):
-                response = client.solve(
+        # fire the burst concurrently: with one slot held, 8 simultaneous
+        # requests compete for the 3 remaining — some are admitted and
+        # served to their deadline, the excess is shed immediately
+        responses: list[dict | None] = [None] * 8
+
+        def burst(index: int) -> None:
+            with JoinClient(*server.address) as client:
+                responses[index] = client.solve(
                     instance="disjoint", deadline=1.0, cache=False, check=False
                 )
-                if response["status"] == "ok":
-                    served += 1
-                else:
-                    assert response["error"]["code"] == "overloaded"
-                    assert response["error"]["retryable"] is True
-                    shed += 1
+
+        burst_threads = [
+            threading.Thread(target=burst, args=(index,)) for index in range(8)
+        ]
+        for burst_thread in burst_threads:
+            burst_thread.start()
+        for burst_thread in burst_threads:
+            burst_thread.join(timeout=30)
         holding.join(timeout=30)
+        for response in responses:
+            assert response is not None, "a burst request never completed"
+            if response["status"] == "ok":
+                served += 1
+            else:
+                assert response["error"]["code"] == "overloaded"
+                assert response["error"]["retryable"] is True
+                shed += 1
     finally:
         with JoinClient(*server.address) as shutdown_client:
             shutdown_client.shutdown()
         thread.join(timeout=60)
     _record("burst_served", float(served), "requests")
     _record("burst_shed", float(shed), "requests")
+    assert served >= 1, "an admitted burst request must be served"
     assert shed >= 1, "a burst beyond max_pending must shed"

@@ -1,0 +1,218 @@
+"""Warm-plane bench — publish/attach cost, warm dispatch, warm-start gain.
+
+Measures the shared-memory worker plane the way the service experiences
+it:
+
+* **cold publish** — packing one dataset (columns + packed R*-tree) into
+  shared memory, the one-time cost the server pays at pool build;
+* **attach** — mapping the published segments into a fresh manager and
+  materialising the dataset zero-copy, versus the cold rebuild it
+  replaces (constructing the R*-tree and columnar arrays from scratch);
+* **warm solve vs cache hit** — p50 full round trip of a real solve
+  through a warm process pool versus a cache-hit response.  The contract:
+  the warm round trip stays within 2× of the *ideal* cost (the in-worker
+  solve plus a cache-hit's dispatch), i.e. attach-don't-rebuild keeps
+  dispatch overhead from dominating the solve;
+* **warm-start quality** — same seed, same iteration budget: a search
+  seeded with a prior incumbent must never end worse than the cold run.
+
+Results land in ``BENCH_warm.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import os
+import statistics
+import threading
+import time
+
+import pytest
+from conftest import record_table, scaled_int
+
+from repro import QueryGraph, hard_instance
+from repro.bench import format_table, write_json
+from repro.core.budget import Budget
+from repro.core.parallel import parallel_restarts
+from repro.service import DatasetRegistry, JoinClient, JoinServer
+from repro.warm import SegmentManager, WarmPlane, attach_dataset
+
+_RESULTS: list[dict] = []
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_warm.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    yield
+    if not _RESULTS:
+        return
+    rows = [[r["section"], r["value"], r["unit"]] for r in _RESULTS]
+    record_table(
+        format_table(
+            "Warm plane bench — publish, attach and warm-start behaviour",
+            ["section", "value", "unit"],
+            rows,
+            precision=6,
+        )
+    )
+    write_json(_JSON_PATH, {"sections": _RESULTS})
+
+
+def _record(section: str, value: float, unit: str) -> None:
+    _RESULTS.append({"section": section, "value": value, "unit": unit})
+
+
+def _run_server(server: JoinServer) -> threading.Thread:
+    started = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            await server.start()
+            started.set()
+            try:
+                await server.wait_for_shutdown()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(60), "bench server never started"
+    return thread
+
+
+def test_publish_and_attach_cost():
+    cardinality = scaled_int(2_000, minimum=200)
+    instance = hard_instance(QueryGraph.chain(2), cardinality=cardinality, seed=9)
+    dataset = instance.datasets[0]
+    _ = dataset.tree, dataset.columns  # materialise before timing
+
+    # the cold path a worker without the plane pays per dataset: build the
+    # R*-tree and the columnar arrays from the raw rectangles
+    from repro.data import SpatialDataset
+
+    gc.collect()
+    gc.disable()  # GC pauses are milliseconds — the very scale under test
+    try:
+        rebuild_s = float("inf")
+        for _round in range(5):
+            started = time.perf_counter()
+            rebuilt = SpatialDataset(list(dataset), name="rebuild")
+            _ = rebuilt.tree, rebuilt.columns
+            rebuild_s = min(rebuild_s, time.perf_counter() - started)
+
+        plane = WarmPlane()
+        try:
+            started = time.perf_counter()
+            spec = plane.publish("bench/0", dataset)
+            publish_s = time.perf_counter() - started
+
+            warmup = SegmentManager()  # first attach pays one-time OS costs
+            attach_dataset(spec, manager=warmup)
+            warmup.shutdown()
+            attach_s = float("inf")
+            for _round in range(5):
+                manager = SegmentManager()  # explicit manager: bypass the cache
+                started = time.perf_counter()
+                attached = attach_dataset(spec, manager=manager)
+                attach_s = min(attach_s, time.perf_counter() - started)
+                assert len(attached) == len(dataset)
+                manager.shutdown()
+        finally:
+            report = plane.shutdown()
+    finally:
+        gc.enable()
+    assert report["leaked"] == []
+    _record("publish_cold", publish_s, "s")
+    _record("index_rebuild", rebuild_s, "s")
+    _record("attach", attach_s, "s")
+    # attach-don't-rebuild: mapping the shared pages and rewiring nodes
+    # around them must undercut building the index from scratch
+    assert attach_s < rebuild_s, "attach should undercut a cold index rebuild"
+
+
+def test_warm_solve_vs_cache_hit():
+    iterations = scaled_int(2_000)
+    cardinality = scaled_int(300, minimum=60)
+    instance = hard_instance(QueryGraph.chain(3), cardinality=cardinality, seed=5)
+    registry = DatasetRegistry()
+    registry.register_instance("bench", instance)
+    server = JoinServer(registry, port=0, workers=2, executor="process")
+    assert server.warm is True
+    thread = _run_server(server)
+    round_trips: list[float] = []
+    solve_only: list[float] = []
+    hits: list[float] = []
+    try:
+        with JoinClient(*server.address) as client:
+            fields = dict(
+                instance="bench", deadline=30.0, max_iterations=iterations
+            )
+            client.solve(seed=0, cache=False, **fields)  # first-dispatch costs
+            for _ in range(15):
+                started = time.perf_counter()
+                response = client.solve(seed=0, cache=False, **fields)
+                round_trips.append(time.perf_counter() - started)
+                solve_only.append(response["elapsed"])
+            client.solve(seed=1, **fields)  # populate the cache
+            for _ in range(15):
+                started = time.perf_counter()
+                response = client.solve(seed=1, **fields)
+                hits.append(time.perf_counter() - started)
+                assert response["cached"] is True
+            stats = client.stats()
+            assert stats["warm"]["enabled"] is True
+            assert stats["warm"]["published_datasets"] == 3
+    finally:
+        with JoinClient(*server.address) as shutdown_client:
+            shutdown_client.shutdown()
+        thread.join(timeout=60)
+    assert server.warm_report is not None and server.warm_report["leaked"] == []
+    warm_p50 = statistics.median(round_trips)
+    solve_p50 = statistics.median(solve_only)
+    hit_p50 = statistics.median(hits)
+    _record("warm_solve_p50", warm_p50, "s")
+    _record("solve_only_p50", solve_p50, "s")
+    _record("cache_hit_p50", hit_p50, "s")
+    _record("warm_dispatch_overhead_p50", warm_p50 - solve_p50, "s")
+    # the warm plane's contract: a real solve's round trip stays within 2×
+    # of the ideal (in-worker solve + a cache hit's dispatch) — dataset
+    # attach/rebuild cost must not re-enter the per-request path
+    assert warm_p50 <= 2.0 * (solve_p50 + hit_p50), (
+        f"warm round trip {warm_p50:.6f}s exceeds 2x ideal "
+        f"({solve_p50:.6f}s solve + {hit_p50:.6f}s hit dispatch)"
+    )
+
+
+def test_warm_start_quality_at_fixed_budget():
+    cardinality = scaled_int(400, minimum=100)
+    iterations = scaled_int(60, minimum=20)
+    instance = hard_instance(QueryGraph.chain(5), cardinality=cardinality, seed=7)
+
+    def solve(seed: int, warm_start=None):
+        return parallel_restarts(
+            instance,
+            Budget(max_iterations=iterations),
+            seed=seed,
+            heuristic="gils",
+            restarts=1,
+            workers=1,
+            warm_start=warm_start,
+        )
+
+    incumbent = solve(seed=11)
+    cold = solve(seed=3)
+    warm = solve(seed=3, warm_start=incumbent.best_assignment)
+    _record("cold_violations", float(cold.best_violations), "violations")
+    _record("warm_violations", float(warm.best_violations), "violations")
+    _record(
+        "incumbent_violations", float(incumbent.best_violations), "violations"
+    )
+    # the warm search starts from the incumbent and can only improve on it
+    assert warm.best_violations <= cold.best_violations, (
+        "same seed, same budget: warm start must never be worse"
+    )
+    assert warm.best_violations <= incumbent.best_violations

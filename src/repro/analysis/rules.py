@@ -1,4 +1,4 @@
-"""The repro project's invariant checkers (rules RL001–RL008).
+"""The repro project's invariant checkers (rules RL001–RL009).
 
 Each rule encodes one convention the engine's correctness or
 reproducibility depends on; see ``docs/static-analysis.md`` for the full
@@ -19,6 +19,9 @@ RL007             solver invocations in ``service/`` that bypass the
 RL008             broad ``except`` clauses in ``service/`` and
                   ``core/parallel.py`` that neither re-raise nor map
                   through :func:`classify_exception`
+RL009             ``SharedMemory`` constructions in ``warm/`` outside a
+                  context manager or a ``try`` with reachable
+                  ``close()``/``unlink()`` cleanup
 ================  ====================================================
 """
 
@@ -39,6 +42,7 @@ __all__ = [
     "ObservabilityNames",
     "ServiceBudgetDiscipline",
     "StructuredErrorHandling",
+    "SharedMemoryLifecycle",
 ]
 
 
@@ -794,6 +798,92 @@ class StructuredErrorHandling(Checker):
                 if (
                     callee is not None
                     and callee.rsplit(".", 1)[-1] in self.CLASSIFIERS
+                ):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL009 — shared-memory segment lifecycle
+# ----------------------------------------------------------------------
+@register
+class SharedMemoryLifecycle(Checker):
+    """``SharedMemory`` creations in ``warm/`` are leak-guarded at the site.
+
+    A POSIX shared-memory segment outlives the process that created it:
+    an exception between ``SharedMemory(...)`` and the bookkeeping that
+    tracks it strands kernel pages in ``/dev/shm`` until reboot.  RL009
+    requires every ``SharedMemory`` construction in the warm plane to be
+    either a ``with`` context manager item or inside a ``try`` statement
+    whose handlers or ``finally`` block reach a ``.close()`` or
+    ``.unlink()`` call — the cleanup that makes every exit path
+    segment-safe.  Bookkeeping lookups (``SharedMemory`` mentioned without
+    a call) and test fixtures are out of scope.
+    """
+
+    rule = "RL009"
+    description = (
+        "SharedMemory creation in warm/ must be context-managed or "
+        "try-guarded with close()/unlink() cleanup"
+    )
+
+    CLEANUP_METHODS = frozenset({"close", "unlink"})
+
+    def applies(self, module: Module) -> bool:
+        return not _in_tests(module) and module.in_directory("warm")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        parents: dict[int, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _dotted(node.func)
+            if callee is None or callee.rsplit(".", 1)[-1] != "SharedMemory":
+                continue
+            if not self._guarded(node, parents):
+                yield self.finding(
+                    module,
+                    node,
+                    "SharedMemory created outside a context manager or a "
+                    "try block with close()/unlink() cleanup; a failure "
+                    "here leaks the OS segment",
+                    hint="wrap the segment in 'with SharedMemory(...)' or "
+                    "create it inside try/except(+finally) whose cleanup "
+                    "calls .close() (and .unlink() for owners) on every "
+                    "exit path",
+                )
+
+    def _guarded(self, call: ast.Call, parents: dict[int, ast.AST]) -> bool:
+        """True when the creation site cannot leak on an exit path."""
+        child: ast.AST = call
+        parent = parents.get(id(call))
+        while parent is not None:
+            if isinstance(parent, ast.withitem):
+                return True  # the context manager closes the mapping
+            if isinstance(parent, ast.Try) and self._try_covers(parent, child):
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False  # stop at the enclosing function boundary
+            child = parent
+            parent = parents.get(id(parent))
+        return False
+
+    def _try_covers(self, statement: ast.Try, child: ast.AST) -> bool:
+        """The creation sits in the ``try`` body and cleanup is reachable."""
+        if child not in statement.body:
+            return False  # creations inside handlers guard themselves
+        regions: list[ast.stmt] = list(statement.finalbody)
+        for handler in statement.handlers:
+            regions.extend(handler.body)
+        for region in regions:
+            for node in ast.walk(region):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.CLEANUP_METHODS
                 ):
                     return True
         return False

@@ -226,6 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heuristic when a request names none")
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="write the JSONL request log / event trace")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="disable the shared-memory warm plane (process "
+                       "workers re-load datasets instead of attaching)")
     serve.add_argument("--fault-plan", metavar="PATH", default=None,
                        help="JSON fault-injection plan activated in the "
                        "solve workers (chaos testing)")
@@ -581,6 +584,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_deadline=args.max_deadline,
         cache_capacity=args.cache_capacity,
         cache_ttl=args.cache_ttl,
+        warm=False if args.no_warm else None,
         default_algorithm=args.algorithm,
         fault_plan=fault_plan,
     )
@@ -593,6 +597,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"datasets: {registry.dataset_names() or '-'}, "
               f"instances: {registry.instance_names() or '-'})",
               flush=True)
+        print(f"warm plane: {'on' if server.warm else 'off'}", flush=True)
         if fault_plan is not None:
             print(f"fault plan active: {len(fault_plan.specs)} spec(s) at "
                   f"{sorted(fault_plan.sites())}", flush=True)
@@ -600,6 +605,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await server.wait_for_shutdown()
         finally:
             await server.stop()
+            if server.warm_report is not None:
+                report = server.warm_report
+                print(f"warm plane shutdown: {report['datasets']} dataset(s), "
+                      f"{report['unlinked']} segment(s) unlinked, "
+                      f"{len(report['leaked'])} leaked", flush=True)
 
     if args.trace is None:
         asyncio.run(_serve())
@@ -657,6 +667,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                   f"(retryable: {error.get('retryable')})", file=sys.stderr)
             return 1
         print(f"cache: {'hit' if response['cached'] else 'miss'}")
+        if "warm_started" in response:
+            print(f"warm: {'started' if response['warm_started'] else 'cold'}")
         print(f"result: {'exact' if response['exact'] else 'approximate'} "
               f"violations={response['violations']} "
               f"similarity={response['similarity']:.4f}")

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..faults import checkpoint_incumbent
 from ..index.queries import search_predicate
@@ -82,19 +83,29 @@ def indexed_simulated_annealing(
     seed: int | random.Random = 0,
     config: SAConfig | None = None,
     evaluator: QueryEvaluator | None = None,
+    warm_start: Sequence[int] | None = None,
 ) -> RunResult:
     """Run simulated annealing within ``budget``; one iteration = one move
-    proposal (accepted or not)."""
+    proposal (accepted or not).
+
+    ``warm_start`` replaces the random initial state; the walk may still
+    move downhill, but the incumbent starts at the warm assignment, so the
+    reported answer is never worse than it.
+    """
     config = config or SAConfig()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    warm_values = evaluator.validated_warm_start(warm_start)
     obs = current()
     baseline = snapshot_trees(evaluator.trees)
     probe = node_reads_probe(evaluator.trees)
     budget.start()
 
     trace = obs.convergence_trace()
-    state = evaluator.random_state(rng)
+    if warm_values is not None:
+        state = evaluator.make_state(warm_values)
+    else:
+        state = evaluator.random_state(rng)
     best_values = state.as_tuple()
     best_violations = state.violations
     trace.record(budget.elapsed(), 0, best_violations, state.similarity)

@@ -188,6 +188,32 @@ class QueryEvaluator:
             for values, row in zip(values_list, counts.tolist())
         ]
 
+    def validated_warm_start(
+        self, warm_start: Sequence[int] | None
+    ) -> list[int] | None:
+        """``warm_start`` as a checked value list, or ``None``.
+
+        A warm start is an ordinary assignment handed in from outside the
+        search (a translated cache entry, a prior incumbent); it must have
+        one in-domain object id per query variable.
+        """
+        if warm_start is None:
+            return None
+        values = [int(value) for value in warm_start]
+        if len(values) != self.num_variables:
+            raise ValueError(
+                f"warm start has {len(values)} values for "
+                f"{self.num_variables} variables"
+            )
+        for variable, value in enumerate(values):
+            domain = len(self.rects[variable])
+            if not 0 <= value < domain:
+                raise ValueError(
+                    f"warm start value {value} outside domain of variable "
+                    f"{variable} (size {domain})"
+                )
+        return values
+
     def random_state(self, rng: random.Random) -> SolutionState:
         return self.make_state(self.random_values(rng))
 

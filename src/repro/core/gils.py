@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..faults import checkpoint_incumbent
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
@@ -60,15 +61,20 @@ def guided_indexed_local_search(
     seed: int | random.Random = 0,
     config: GILSConfig | None = None,
     evaluator: QueryEvaluator | None = None,
+    warm_start: Sequence[int] | None = None,
 ) -> RunResult:
     """Run GILS within ``budget``; one iteration = one improvement attempt.
 
     The incumbent is tracked by *actual* violations (penalties only guide
-    the walk, never the reported result).
+    the walk, never the reported result).  ``warm_start`` replaces the
+    random seed solution with a given assignment; since the seed is
+    recorded as incumbent before the walk starts, a warm-started run never
+    reports a worse answer than the assignment it was given.
     """
     config = config or GILSConfig()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    warm_values = evaluator.validated_warm_start(warm_start)
     penalties = PenaltyTable(config.resolve_lambda(instance))
     obs = current()
     baseline = snapshot_trees(evaluator.trees)
@@ -78,7 +84,10 @@ def guided_indexed_local_search(
     trace = obs.convergence_trace()
     with obs.span("gils.run", io=probe):
         with obs.span("gils.seed"):
-            state = evaluator.random_state(rng)
+            if warm_values is not None:
+                state = evaluator.make_state(warm_values)
+            else:
+                state = evaluator.random_state(rng)
         best_values = state.as_tuple()
         best_violations = state.violations
         trace.record(budget.elapsed(), 0, best_violations, state.similarity)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..faults import checkpoint_incumbent
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
@@ -61,12 +62,20 @@ def indexed_local_search(
     seed: int | random.Random = 0,
     config: ILSConfig | None = None,
     evaluator: QueryEvaluator | None = None,
+    warm_start: Sequence[int] | None = None,
 ) -> RunResult:
     """Run ILS within ``budget``; one budget *iteration* = one improvement
-    attempt (one ``find_best_value`` call or random-sample round)."""
+    attempt (one ``find_best_value`` call or random-sample round).
+
+    ``warm_start`` seeds the *first* restart with a given assignment instead
+    of a random one (later restarts stay random).  Because the warm state is
+    recorded as incumbent before any climbing, a warm-started run can never
+    report a worse answer than the assignment it was given.
+    """
     config = config or ILSConfig()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    warm_values = evaluator.validated_warm_start(warm_start)
     obs = current()
     baseline = snapshot_trees(evaluator.trees)
     probe = node_reads_probe(evaluator.trees)
@@ -98,9 +107,17 @@ def indexed_local_search(
             obs.event("restart", index=restarts)
             obs.counter("ils.restarts").inc()
             restarts += 1
+            seeded_warm = False
             with obs.span("ils.seed"):
-                state = evaluator.random_state(rng)
+                if warm_values is not None:
+                    state = evaluator.make_state(warm_values)
+                    warm_values = None
+                    seeded_warm = True
+                else:
+                    state = evaluator.random_state(rng)
             note_if_best(state)
+            if seeded_warm and config.stop_on_exact and state.is_exact:
+                break
             # climb to a local maximum
             with obs.span("ils.climb", io=probe):
                 while not done:

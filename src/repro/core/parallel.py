@@ -116,6 +116,8 @@ class RunSpec:
     time_limit: float | None
     max_iterations: int | None
     index: int
+    #: optional starting incumbent (requester numbering) seeding the search
+    warm_start: tuple[int, ...] | None = None
 
     def budget(self) -> Budget:
         return Budget(time_limit=self.time_limit, max_iterations=self.max_iterations)
@@ -283,13 +285,24 @@ _WORKER_CHECKPOINTS: Any = None
 
 
 def _init_worker(
-    instance: ProblemInstance,
+    instance: ProblemInstance | None,
     use_kernels: bool,
     observe_members: bool = False,
     fault_plan: dict[str, Any] | None = None,
     checkpoint_queue: Any = None,
+    warm: Any = None,
 ) -> None:
+    """Pool initializer; ``warm`` (a :class:`~repro.warm.plane.WarmInstanceSpec`)
+    replaces the pickled ``instance`` with an attach to published shared
+    memory — the attach-don't-rebuild path of the warm plane.  Pool rebuilds
+    reuse the same initargs, so recovered workers re-attach to the *same*
+    segments; nothing is re-published."""
     global _WORKER_INSTANCE, _WORKER_EVALUATOR, _WORKER_OBSERVE, _WORKER_CHECKPOINTS
+    if instance is None:
+        assert warm is not None, "pool initializer needs an instance or a warm spec"
+        from ..warm.plane import attach_instance  # local: warm/ is optional here
+
+        instance = attach_instance(warm)
     _WORKER_INSTANCE = instance
     _WORKER_EVALUATOR = QueryEvaluator(instance, use_kernels=use_kernels)
     _WORKER_OBSERVE = observe_members
@@ -358,6 +371,10 @@ def _execute_spec(
         raise ValueError(
             f"unknown heuristic {spec.heuristic!r}; known: {known}"
         ) from None
+    if spec.warm_start is not None:
+        return runner(
+            instance, spec.budget(), spec.seed, evaluator, warm_start=spec.warm_start
+        )
     return runner(instance, spec.budget(), spec.seed, evaluator)
 
 
@@ -506,6 +523,7 @@ def _supervised_pool_run(
     want_checkpoints: bool,
     ledger: _FaultLedger,
     checkpoints: dict[int, _Checkpoint],
+    warm: Any = None,
 ) -> dict[int, RunResult]:
     """Run specs on a supervised process pool; returns completed results.
 
@@ -532,10 +550,20 @@ def _supervised_pool_run(
     try:
         todo = sorted(spec_by_index)
         while todo:
+            # with a warm spec the instance never pickles through initargs:
+            # workers attach to the published segments instead, and every
+            # rebuild re-attaches to the same ones
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(todo)),
                 initializer=_init_worker,
-                initargs=(instance, use_kernels, observe_members, plan_payload, sink),
+                initargs=(
+                    None if warm is not None else instance,
+                    use_kernels,
+                    observe_members,
+                    plan_payload,
+                    sink,
+                    warm,
+                ),
             )
             failure: str | None = None
             try:
@@ -665,6 +693,7 @@ def run_specs(
     fault_plan: FaultPlan | None = None,
     supervision: SupervisionPolicy | None = None,
     checkpoints: bool | None = None,
+    warm: Any = None,
 ) -> list[RunResult]:
     """Execute ``specs`` and return their results in spec order.
 
@@ -675,6 +704,11 @@ def run_specs(
     ``observe_members=None`` observes members exactly when the calling
     process has an active observation; each member then ships its metrics
     and events back in ``result.stats["obs"]``.
+
+    ``warm`` (a :class:`~repro.warm.plane.WarmInstanceSpec`) makes pool
+    workers attach to published shared-memory segments instead of
+    receiving the pickled ``instance``; the inline path ignores it (the
+    caller already holds the instance).
 
     See :func:`run_specs_supervised` for the fault-handling parameters.
     """
@@ -688,6 +722,7 @@ def run_specs(
         fault_plan=fault_plan,
         supervision=supervision,
         checkpoints=checkpoints,
+        warm=warm,
     )
     return results
 
@@ -702,6 +737,7 @@ def run_specs_supervised(
     fault_plan: FaultPlan | None = None,
     supervision: SupervisionPolicy | None = None,
     checkpoints: bool | None = None,
+    warm: Any = None,
 ) -> tuple[list[RunResult], dict[str, Any] | None]:
     """Supervised :func:`run_specs`: results plus a fault report.
 
@@ -735,7 +771,7 @@ def run_specs_supervised(
     else:
         results = _supervised_pool_run(
             instance, specs, workers, use_kernels, observe_members, plan, policy,
-            want_checkpoints, ledger, checkpoint_store,
+            want_checkpoints, ledger, checkpoint_store, warm=warm,
         )
 
     ordered: list[RunResult] = []
@@ -766,8 +802,15 @@ def parallel_restarts(
     fault_plan: FaultPlan | None = None,
     supervision: SupervisionPolicy | None = None,
     checkpoints: bool | None = None,
+    warm_start: Sequence[int] | None = None,
+    warm: Any = None,
 ) -> RunResult:
     """Best-of-``restarts`` independent runs of one heuristic.
+
+    ``warm_start`` hands every member the same starting incumbent (each
+    still explores from its own derived seed after that); ``warm`` is a
+    :class:`~repro.warm.plane.WarmInstanceSpec` switching pool workers to
+    shared-memory attach instead of instance pickling.
 
     Every member receives a fresh budget with the *same* limits (members run
     concurrently, so the wall-clock cost is one member's budget, not their
@@ -782,6 +825,9 @@ def parallel_restarts(
     """
     if restarts < 1:
         raise ValueError(f"restarts must be >= 1, got {restarts}")
+    warm_values = (
+        tuple(int(value) for value in warm_start) if warm_start is not None else None
+    )
     specs = [
         RunSpec(
             heuristic=heuristic,
@@ -789,6 +835,7 @@ def parallel_restarts(
             time_limit=budget.time_limit,
             max_iterations=budget.max_iterations,
             index=index,
+            warm_start=warm_values,
         )
         for index in range(restarts)
     ]
@@ -804,6 +851,7 @@ def parallel_restarts(
             fault_plan=fault_plan,
             supervision=supervision,
             checkpoints=checkpoints,
+            warm=warm,
         )
     elapsed = watch.elapsed()
 

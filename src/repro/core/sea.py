@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..faults import checkpoint_incumbent
 from ..index.stats import index_work_since, node_reads_probe, snapshot_trees
@@ -103,11 +104,19 @@ def spatial_evolutionary_algorithm(
     seed: int | random.Random = 0,
     config: SEAConfig | None = None,
     evaluator: QueryEvaluator | None = None,
+    warm_start: Sequence[int] | None = None,
 ) -> RunResult:
-    """Run SEA within ``budget``; one budget *iteration* = one generation."""
+    """Run SEA within ``budget``; one budget *iteration* = one generation.
+
+    ``warm_start`` replaces the first member of the initial population with
+    a given assignment (before the optional seeding climb, which only
+    improves it), so a warm-started run never reports a worse answer than
+    the assignment it was given.
+    """
     config = config or SEAConfig()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     evaluator = evaluator or QueryEvaluator(instance)
+    warm_values = evaluator.validated_warm_start(warm_start)
     parameters = config.resolve(instance)
     num_variables = evaluator.num_variables
     obs = current()
@@ -126,6 +135,8 @@ def spatial_evolutionary_algorithm(
             # pass; values are drawn in the same rng order as per-state
             # construction
             population = evaluator.random_states(rng, parameters.population)
+            if warm_values is not None:
+                population[0] = evaluator.make_state(warm_values)
             if config.seed_with_local_maxima:
                 population = [
                     _climb_to_local_maximum(state, evaluator, budget)

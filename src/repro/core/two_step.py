@@ -29,19 +29,20 @@ from .sea import SEAConfig, spatial_evolutionary_algorithm
 
 __all__ = ["TwoStepResult", "two_step", "HEURISTICS"]
 
-#: name → callable(instance, budget, seed, evaluator) for the first step
+#: name → callable(instance, budget, seed, evaluator, warm_start=None) for
+#: the first step; ``warm_start`` seeds the search with a prior incumbent
 HEURISTICS = {
-    "ils": lambda instance, budget, seed, evaluator: indexed_local_search(
-        instance, budget, seed, ILSConfig(), evaluator
+    "ils": lambda instance, budget, seed, evaluator, warm_start=None: indexed_local_search(
+        instance, budget, seed, ILSConfig(), evaluator, warm_start=warm_start
     ),
-    "gils": lambda instance, budget, seed, evaluator: guided_indexed_local_search(
-        instance, budget, seed, GILSConfig(), evaluator
+    "gils": lambda instance, budget, seed, evaluator, warm_start=None: guided_indexed_local_search(
+        instance, budget, seed, GILSConfig(), evaluator, warm_start=warm_start
     ),
-    "sea": lambda instance, budget, seed, evaluator: spatial_evolutionary_algorithm(
-        instance, budget, seed, SEAConfig(), evaluator
+    "sea": lambda instance, budget, seed, evaluator, warm_start=None: spatial_evolutionary_algorithm(
+        instance, budget, seed, SEAConfig(), evaluator, warm_start=warm_start
     ),
-    "isa": lambda instance, budget, seed, evaluator: indexed_simulated_annealing(
-        instance, budget, seed, SAConfig(), evaluator
+    "isa": lambda instance, budget, seed, evaluator, warm_start=None: indexed_simulated_annealing(
+        instance, budget, seed, SAConfig(), evaluator, warm_start=warm_start
     ),
 }
 

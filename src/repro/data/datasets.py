@@ -37,6 +37,11 @@ class SpatialDataset:
     tree:
         Pre-built index (must contain exactly ``(rects[i], i)`` entries); when
         omitted, an STR bulk-loaded R*-tree is built.
+    columns:
+        Pre-built columnar view of ``rects`` (must match in length); when
+        omitted, columns are packed lazily on first access.  The warm plane
+        passes zero-copy shared-memory columns here so attached datasets
+        never re-pack the table.
     """
 
     def __init__(
@@ -46,11 +51,16 @@ class SpatialDataset:
         workspace: Rect = UNIT_WORKSPACE,
         max_entries: int | None = None,
         tree: RStarTree | None = None,
+        columns: RectColumns | None = None,
     ):
         if len(rects) == 0:
             raise ValueError("a dataset must contain at least one object")
         self._rects = list(rects)
-        self._columns: RectColumns | None = None
+        if columns is not None and len(columns) != len(self._rects):
+            raise ValueError(
+                f"columns length {len(columns)} != object count {len(self._rects)}"
+            )
+        self._columns: RectColumns | None = columns
         self.name = name
         self.workspace = workspace
         if tree is not None:

@@ -15,11 +15,14 @@ from __future__ import annotations
 import math
 from typing import Any, Sequence
 
+import numpy as np
+
 from ..geometry import Rect
+from ..geometry.kernels import pack_bounds
 from .node import Node
 from .rstar import DEFAULT_MAX_ENTRIES, RStarTree
 
-__all__ = ["bulk_load", "pack_nodes"]
+__all__ = ["bulk_load", "pack_nodes", "pack_tree", "tree_from_packed"]
 
 
 def bulk_load(
@@ -107,3 +110,110 @@ def _rebalance_tail(nodes: list[Node], capacity: int) -> list[Node]:
     prev.replace_entries(prev.bounds[:-needed], prev.children[:-needed])
     tail.replace_entries(moved_bounds + tail.bounds, moved_children + tail.children)
     return nodes
+
+
+def pack_tree(tree: RStarTree) -> dict[str, Any]:
+    """Flatten a tree into four parallel arrays (plus scalar metadata).
+
+    Nodes are numbered in BFS order (root = 0), children in entry order, so
+    packing and unpacking preserve traversal order exactly — a
+    reconstructed tree answers every query byte-identically.  Layout:
+
+    ``entry_bounds``
+        ``(m, 4)`` float64 — every entry MBR of every node, concatenated.
+    ``entry_children``
+        ``(m,)`` int64 — the BFS index of the child node (internal levels)
+        or the integer item id (leaves), parallel to ``entry_bounds``.
+    ``node_offsets``
+        ``(n + 1,)`` int64 — node ``k`` owns entries
+        ``node_offsets[k]:node_offsets[k + 1]``.
+    ``node_levels``
+        ``(n,)`` int64 — each node's level (0 = leaf).
+
+    The arrays are plain NumPy and therefore mmap-able: the warm plane
+    publishes them into shared memory and workers rebuild the tree over
+    zero-copy views (:func:`tree_from_packed`).
+    """
+    nodes: list[Node] = [tree.root]
+    cursor = 0
+    while cursor < len(nodes):
+        node = nodes[cursor]
+        cursor += 1
+        if not node.is_leaf:
+            nodes.extend(node.children)
+    index_of = {id(node): position for position, node in enumerate(nodes)}
+
+    all_bounds: list[Rect] = []
+    children: list[int] = []
+    offsets: list[int] = [0]
+    levels: list[int] = []
+    for node in nodes:
+        all_bounds.extend(node.bounds)
+        if node.is_leaf:
+            for item in node.children:
+                if not isinstance(item, int):
+                    raise TypeError(
+                        f"cannot pack leaf item {item!r}: only integer object "
+                        f"ids survive serialisation"
+                    )
+                children.append(item)
+        else:
+            children.extend(index_of[id(child)] for child in node.children)
+        offsets.append(len(all_bounds))
+        levels.append(node.level)
+    return {
+        "entry_bounds": pack_bounds(all_bounds),
+        "entry_children": np.asarray(children, dtype=np.int64),
+        "node_offsets": np.asarray(offsets, dtype=np.int64),
+        "node_levels": np.asarray(levels, dtype=np.int64),
+        "meta": (tree.max_entries, tree.min_entries, tree.reinsert_count, len(tree)),
+    }
+
+
+def tree_from_packed(
+    entry_bounds: np.ndarray,
+    entry_children: np.ndarray,
+    node_offsets: np.ndarray,
+    node_levels: np.ndarray,
+    meta: Sequence[int],
+    item_bounds: Sequence[Rect] | None = None,
+) -> RStarTree:
+    """Rebuild an :func:`pack_tree`'d tree, sharing ``entry_bounds`` storage.
+
+    Each node's packed-bounds cache is pointed at its slice of
+    ``entry_bounds`` instead of a private copy, so when the array lives in
+    shared memory the vectorized kernels score nodes directly off the
+    shared pages — attaching a dataset never copies the index.
+
+    ``item_bounds`` (the object table, indexed by item id) lets leaf
+    entries reuse the caller's :class:`Rect` objects instead of
+    constructing fresh ones — leaf bounds *are* the item rectangles, so
+    the result is value-identical and materialisation roughly halves.
+    """
+    max_entries, min_entries, reinsert_count, size = (int(value) for value in meta)
+    tree = RStarTree(max_entries=max_entries)
+    tree.min_entries = min_entries
+    tree.reinsert_count = reinsert_count
+    nodes = [Node(level=int(level)) for level in node_levels]
+    for position, node in enumerate(nodes):
+        start = int(node_offsets[position])
+        stop = int(node_offsets[position + 1])
+        rows = entry_bounds[start:stop]
+        child_ids = entry_children[start:stop].tolist()
+        if node.is_leaf:
+            items = [int(item) for item in child_ids]
+            if item_bounds is not None:
+                bounds = [item_bounds[item] for item in items]
+            else:
+                bounds = [Rect._make(row) for row in rows.tolist()]
+            node.replace_entries(bounds, items)
+        else:
+            bounds = [Rect._make(row) for row in rows.tolist()]
+            node.replace_entries(bounds, [nodes[int(child)] for child in child_ids])
+        # share the packed storage: a zero-copy view, not a rebuilt array
+        node._bounds_array = rows
+    if nodes:
+        tree.root = nodes[0]
+        tree.root.parent = None
+    tree._size = size
+    return tree

@@ -46,6 +46,9 @@ SPAN_NAMES = frozenset(
         "portfolio.run",
         # query service: one span per solve, opened inside the worker
         "service.solve",
+        # warm plane: shared-memory publish / attach
+        "warm.publish",
+        "warm.attach",
     }
 )
 
@@ -94,6 +97,13 @@ METRIC_NAMES = frozenset(
         "service.shed",
         "service.approximate",
         "service.latency",
+        # per-request warm classification (exact cache hit / seeded / cold)
+        "service.warm.exact_hit",
+        "service.warm.start",
+        "service.warm.cold",
+        # warm plane segment lifecycle
+        "warm.publishes",
+        "warm.attaches",
         # fault injection & recovery (parallel supervision + service)
         "faults.crashes",
         "faults.hangs",

@@ -194,6 +194,8 @@ class CacheEntry:
     algorithm: str
     stored_at: float = 0.0
     hits: int = field(default=0)
+    #: canonical query signature, for the near-miss warm-start tier
+    signature: str = ""
 
     def assignment_for(self, order: Sequence[int]) -> list[int]:
         """The assignment translated into a requester's variable numbering.
@@ -217,6 +219,7 @@ class CacheEntry:
         iterations: int,
         elapsed: float,
         algorithm: str,
+        signature: str = "",
     ) -> "CacheEntry":
         """Build an entry from a result in the requester's numbering."""
         canonical = tuple(assignment[variable] for variable in order)
@@ -227,6 +230,7 @@ class CacheEntry:
             iterations=iterations,
             elapsed=elapsed,
             algorithm=algorithm,
+            signature=signature,
         )
 
 
@@ -252,22 +256,36 @@ class SolutionCache:
         self.ttl = ttl
         self._clock = clock if clock is not None else Stopwatch().elapsed
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        #: signature → keys of live entries carrying it (near-miss tier)
+        self._by_signature: dict[str, set[str]] = {}
         self.hits = 0
         self.misses = 0
         self.expirations = 0
         self.evictions = 0
+        self.near_hits = 0
+        self.near_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _forget_signature(self, key: str, entry: CacheEntry) -> None:
+        keys = self._by_signature.get(entry.signature)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_signature[entry.signature]
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        return self.ttl is not None and self._clock() - entry.stored_at >= self.ttl
+
     def get(self, key: str) -> CacheEntry | None:
         """The live entry under ``key`` or ``None`` (expired counts as miss)."""
         entry = self._entries.get(key)
-        if entry is not None and self.ttl is not None:
-            if self._clock() - entry.stored_at >= self.ttl:
-                del self._entries[key]
-                self.expirations += 1
-                entry = None
+        if entry is not None and self._expired(entry):
+            del self._entries[key]
+            self._forget_signature(key, entry)
+            self.expirations += 1
+            entry = None
         if entry is None:
             self.misses += 1
             return None
@@ -276,17 +294,59 @@ class SolutionCache:
         entry.hits += 1
         return entry
 
+    def get_near(self, signature: str) -> CacheEntry | None:
+        """The best live entry for an isomorphic query, regardless of knobs.
+
+        This is the warm-start tier: an exact miss whose canonical
+        *signature* matches a cached solve (same labelled query graph up to
+        variable renumbering, but a different seed / budget / algorithm)
+        returns that entry so its assignment can seed the new search.  Best
+        = fewest violations, ties to the most recently stored.  Tracked by
+        ``near_hits``/``near_misses``, separate from the exact counters.
+        """
+        best_entry: CacheEntry | None = None
+        for key in sorted(self._by_signature.get(signature, ())):
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if self._expired(entry):
+                del self._entries[key]
+                self._forget_signature(key, entry)
+                self.expirations += 1
+                continue
+            if (
+                best_entry is None
+                or entry.violations < best_entry.violations
+                or (
+                    entry.violations == best_entry.violations
+                    and entry.stored_at > best_entry.stored_at
+                )
+            ):
+                best_entry = entry
+        if best_entry is None:
+            self.near_misses += 1
+            return None
+        self.near_hits += 1
+        return best_entry
+
     def put(self, key: str, entry: CacheEntry) -> None:
         """Insert (or refresh) ``entry`` under ``key``; evicts the LRU tail."""
         entry.stored_at = self._clock()
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._forget_signature(key, previous)
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        if entry.signature:
+            self._by_signature.setdefault(entry.signature, set()).add(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._forget_signature(evicted_key, evicted)
             self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_signature.clear()
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot for the server's ``stats`` op."""
@@ -297,6 +357,8 @@ class SolutionCache:
             "misses": self.misses,
             "expirations": self.expirations,
             "evictions": self.evictions,
+            "near_hits": self.near_hits,
+            "near_misses": self.near_misses,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

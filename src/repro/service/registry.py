@@ -42,9 +42,12 @@ _SUFFIX_FORMATS = {".npz": "npz", ".csv": "csv"}
 class _Entry:
     """One registration: where the payload lives and its cached value."""
 
-    kind: str  # "npz" | "csv" | "instance" | "memory"
+    kind: str  # "npz" | "csv" | "instance" | "memory" | "warm"
     path: str | None = None
     value: Any = None  # SpatialDataset or ProblemInstance once loaded
+    #: warm entries: the picklable WarmDatasetSpec / WarmInstanceSpec to
+    #: attach from shared memory on first use
+    payload: Any = None
 
 
 class DatasetRegistry:
@@ -97,6 +100,19 @@ class DatasetRegistry:
         """Register an in-memory problem instance."""
         self._instances[name] = _Entry(kind="memory", value=instance)
 
+    def register_warm_dataset(self, name: str, spec: Any) -> None:
+        """Register a shared-memory dataset by its ``WarmDatasetSpec``.
+
+        The dataset attaches (zero-copy) on first :meth:`dataset` call;
+        warm entries survive :meth:`spec`/:meth:`from_spec`, which is how
+        the server hands published segments to its pool workers.
+        """
+        self._datasets[name] = _Entry(kind="warm", payload=spec)
+
+    def register_warm_instance(self, name: str, spec: Any) -> None:
+        """Register a shared-memory instance by its ``WarmInstanceSpec``."""
+        self._instances[name] = _Entry(kind="warm", payload=spec)
+
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
@@ -108,11 +124,16 @@ class DatasetRegistry:
                 f"unknown dataset {name!r}; known: {sorted(self._datasets)}"
             )
         if entry.value is None:
-            assert entry.path is not None
-            if entry.kind == "npz":
-                entry.value = load_npz(entry.path)
+            if entry.kind == "warm":
+                from ..warm.plane import attach_dataset  # local: optional dep
+
+                entry.value = attach_dataset(entry.payload)
             else:
-                entry.value = load_csv(entry.path, name=name)
+                assert entry.path is not None
+                if entry.kind == "npz":
+                    entry.value = load_npz(entry.path)
+                else:
+                    entry.value = load_csv(entry.path, name=name)
         return entry.value
 
     def instance(self, name: str) -> ProblemInstance:
@@ -123,8 +144,13 @@ class DatasetRegistry:
                 f"unknown instance {name!r}; known: {sorted(self._instances)}"
             )
         if entry.value is None:
-            assert entry.path is not None
-            entry.value = load_instance(entry.path)
+            if entry.kind == "warm":
+                from ..warm.plane import attach_instance  # local: optional dep
+
+                entry.value = attach_instance(entry.payload)
+            else:
+                assert entry.path is not None
+                entry.value = load_instance(entry.path)
             for index, dataset in enumerate(entry.value.datasets):
                 self._datasets.setdefault(
                     f"{name}/{index}", _Entry(kind="memory", value=dataset)
@@ -168,23 +194,41 @@ class DatasetRegistry:
                 warmed += _touch(dataset)
         return warmed
 
+    def attach_warm(self) -> int:
+        """Force-attach every warm entry; returns datasets materialised.
+
+        Called by pool-worker initializers so the first request finds the
+        shared-memory datasets already attached (attaching is cheap, but
+        doing it during a deadline-bounded solve is still wasted budget).
+        """
+        attached = 0
+        for name, entry in list(self._instances.items()):
+            if entry.kind == "warm":
+                attached += len(self.instance(name).datasets)
+        for name, entry in list(self._datasets.items()):
+            if entry.kind == "warm" and entry.value is None:
+                self.dataset(name)
+                attached += 1
+        return attached
+
     def spec(self) -> dict[str, Any]:
         """A picklable description workers rebuild the registry from.
 
-        Only path-backed entries transfer (workers re-load lazily from
-        disk); in-memory entries are listed so callers can decide to ship
-        those instances inline with the request instead.
+        Path-backed entries transfer as paths (workers re-load lazily from
+        disk); warm entries transfer as their shared-memory specs (workers
+        attach, never re-load).  Plain in-memory entries are listed by
+        neither — callers ship those instances inline with the request.
         """
         return {
             "datasets": {
-                name: {"kind": entry.kind, "path": entry.path}
+                name: {"kind": entry.kind, "path": entry.path, "payload": entry.payload}
                 for name, entry in self._datasets.items()
-                if entry.path is not None
+                if entry.path is not None or entry.kind == "warm"
             },
             "instances": {
-                name: {"kind": entry.kind, "path": entry.path}
+                name: {"kind": entry.kind, "path": entry.path, "payload": entry.payload}
                 for name, entry in self._instances.items()
-                if entry.path is not None
+                if entry.path is not None or entry.kind == "warm"
             },
         }
 
@@ -198,9 +242,13 @@ class DatasetRegistry:
         """Rebuild a lazy registry from :meth:`spec` (worker initializer)."""
         registry = cls()
         for name, entry in spec.get("datasets", {}).items():
-            registry._datasets[name] = _Entry(kind=entry["kind"], path=entry["path"])
+            registry._datasets[name] = _Entry(
+                kind=entry["kind"], path=entry["path"], payload=entry.get("payload")
+            )
         for name, entry in spec.get("instances", {}).items():
-            registry._instances[name] = _Entry(kind=entry["kind"], path=entry["path"])
+            registry._instances[name] = _Entry(
+                kind=entry["kind"], path=entry["path"], payload=entry.get("payload")
+            )
         return registry
 
 

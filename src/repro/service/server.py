@@ -37,6 +37,7 @@ from ..core.budget import Stopwatch
 from ..faults import FaultPlan, activate_plan
 from ..obs import current, merge_states, replay_into
 from ..query.hardness import ProblemInstance
+from ..warm.plane import WarmPlane
 from .admission import AdmissionController
 from .cache import CacheEntry, SolutionCache, canonical_query_key, solve_cache_key
 from .errors import classify_exception
@@ -82,6 +83,13 @@ class JoinServer:
         Admission policy (see :class:`AdmissionController`).
     cache_capacity / cache_ttl:
         Solution cache sizing; capacity ``0`` disables caching entirely.
+    warm:
+        Publish registry datasets into shared memory so process workers
+        attach instead of re-loading (defaults to on for the process
+        executor, off for threads, which already share this process's
+        registry).  Pool rebuilds after crashes re-attach to the same
+        segments; :meth:`stop` unlinks everything and records the
+        lifecycle report in :attr:`warm_report`.
     default_algorithm:
         Heuristic used when a solve request names none.
     fault_plan:
@@ -104,6 +112,7 @@ class JoinServer:
         max_deadline: float = 60.0,
         cache_capacity: int = 256,
         cache_ttl: float | None = None,
+        warm: bool | None = None,
         default_algorithm: str = "gils",
         fault_plan: FaultPlan | None = None,
     ) -> None:
@@ -126,12 +135,21 @@ class JoinServer:
             if cache_capacity > 0
             else None
         )
+        self.warm = (executor == "process") if warm is None else bool(warm)
         self.default_algorithm = default_algorithm
         self.fault_plan = fault_plan if (fault_plan is not None and fault_plan) else None
         self.requests_total = 0
         self.errors_total = 0
         self.pool_rebuilds = 0
         self.jobs_retried = 0
+        #: request classification for the cross-request incumbent tier
+        self.warm_exact_hits = 0
+        self.warm_starts = 0
+        self.warm_cold = 0
+        #: shared-memory plane, created with the first process pool
+        self._warm_plane: WarmPlane | None = None
+        #: segment lifecycle report from the plane, filled by :meth:`stop`
+        self.warm_report: dict[str, Any] | None = None
         #: monotonic dispatch counter: the ``service.job`` fault index
         self._jobs_dispatched = 0
         self._previous_plan: FaultPlan | None = None
@@ -154,6 +172,8 @@ class JoinServer:
 
     def _build_process_executor(self) -> ProcessPoolExecutor:
         spec = self.registry.spec()
+        if self.warm:
+            spec = self._overlay_warm(spec)
         self._worker_names = set(spec["datasets"]) | set(spec["instances"])
         plan_payload = self.fault_plan.to_dict() if self.fault_plan else None
         return ProcessPoolExecutor(
@@ -161,6 +181,36 @@ class JoinServer:
             initializer=init_service_worker,
             initargs=(spec, plan_payload),
         )
+
+    def _overlay_warm(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Swap loadable registry entries for shared-memory warm specs.
+
+        Instances publish first so their member datasets land under the
+        registry's ``{name}/{index}`` labels; standalone datasets publish
+        under their own names.  ``ensure_published`` is idempotent, so a
+        pool rebuild after a crash ships the *same* specs again and the
+        fresh workers re-attach — nothing is ever re-published (the fault
+        tests pin the plane's publish counter across rebuilds).
+        """
+        if self._warm_plane is None:
+            self._warm_plane = WarmPlane()
+        plane = self._warm_plane
+        for name in self.registry.instance_names():
+            warm = plane.instance_spec(name, self.registry.instance(name))
+            spec["instances"][name] = {"kind": "warm", "path": None, "payload": warm}
+            for index, member in enumerate(warm.datasets):
+                spec["datasets"][f"{name}/{index}"] = {
+                    "kind": "warm",
+                    "path": None,
+                    "payload": member,
+                }
+        for name in self.registry.dataset_names():
+            listed = spec["datasets"].get(name)
+            if listed is not None and listed["kind"] == "warm":
+                continue
+            member = plane.ensure_published(name, self.registry.dataset(name))
+            spec["datasets"][name] = {"kind": "warm", "path": None, "payload": member}
+        return spec
 
     async def start(self) -> None:
         """Warm the registry, spin up the pool, and start listening."""
@@ -198,6 +248,11 @@ class JoinServer:
             if self.executor_kind == "thread":
                 activate_plan(self._previous_plan)
                 self._previous_plan = None
+        if self._warm_plane is not None:
+            # workers are gone; unlink every published segment and keep
+            # the lifecycle report (tests assert ``leaked == []``)
+            self.warm_report = self._warm_plane.shutdown()
+            self._warm_plane = None
 
     async def wait_for_shutdown(self) -> None:
         """Block until a ``shutdown`` request arrives (after :meth:`start`)."""
@@ -338,6 +393,17 @@ class JoinServer:
             "jobs_retried": self.jobs_retried,
             "admission": self.admission.stats(),
             "cache": self.cache.stats() if self.cache is not None else None,
+            "warm": {
+                "enabled": self.warm,
+                "exact_hits": self.warm_exact_hits,
+                "warm_starts": self.warm_starts,
+                "cold": self.warm_cold,
+                "published_datasets": (
+                    len(self._warm_plane.published)
+                    if self._warm_plane is not None
+                    else 0
+                ),
+            },
         }
 
     def _handle_register(
@@ -407,7 +473,9 @@ class JoinServer:
 
         # cache lookup under the canonical signature
         cache_key: str | None = None
+        signature = ""
         order: tuple[int, ...] = tuple(range(query.num_variables))
+        warm_start: tuple[int, ...] | None = None
         if use_cache:
             signature, order = canonical_query_key(query, labels)
             cache_key = solve_cache_key(
@@ -417,6 +485,8 @@ class JoinServer:
             entry = self.cache.get(cache_key)
             if entry is not None:
                 obs.counter("service.cache.hit").inc()
+                obs.counter("service.warm.exact_hit").inc()
+                self.warm_exact_hits += 1
                 return ok_response(
                     request_id,
                     "solve",
@@ -433,6 +503,11 @@ class JoinServer:
                     restarts=restarts,
                 )
             obs.counter("service.cache.miss").inc()
+            # near-miss tier: an isomorphic query solved under different
+            # knobs seeds this solve's search with its best assignment
+            near = self.cache.get_near(signature)
+            if near is not None:
+                warm_start = tuple(near.assignment_for(order))
 
         # admission: bounded in-flight work, shed the rest
         ticket = self.admission.try_admit(deadline)
@@ -446,6 +521,13 @@ class JoinServer:
                 f"{self.admission.pending} requests already in flight; retry later",
             )
         obs.gauge("service.queue.depth").set(self.admission.pending)
+        # admitted: classify the dispatch for the warm-start vocabulary
+        if warm_start is not None:
+            obs.counter("service.warm.start").inc()
+            self.warm_starts += 1
+        else:
+            obs.counter("service.warm.cold").inc()
+            self.warm_cold += 1
         # one fault index per request, stable across re-dispatches — a
         # "crash every N-th job" plan counts requests, not retries
         fault_index = self._jobs_dispatched
@@ -470,6 +552,7 @@ class JoinServer:
                         ),
                         attempt=attempt,
                         fault_index=fault_index,
+                        warm_start=warm_start,
                     )
                     payload = await self._run_job(job, timeout=ticket.remaining())
                     break
@@ -515,6 +598,7 @@ class JoinServer:
                     iterations=payload["iterations"],
                     elapsed=payload["elapsed"],
                     algorithm=payload["algorithm"],
+                    signature=signature,
                 ),
             )
         return ok_response(
@@ -561,6 +645,7 @@ class JoinServer:
         observe_solve: bool,
         attempt: int = 0,
         fault_index: int = 0,
+        warm_start: tuple[int, ...] | None = None,
     ) -> SolveJob:
         """A picklable job; data the pool workers lack ships inline."""
         inline: ProblemInstance | None = None
@@ -588,6 +673,7 @@ class JoinServer:
             observe=observe_solve,
             attempt=attempt,
             fault_index=fault_index,
+            warm_start=warm_start,
         )
 
     async def _run_job(self, job: SolveJob, timeout: float) -> dict[str, Any]:

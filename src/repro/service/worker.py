@@ -16,11 +16,13 @@ cost is the solve itself, not dispatch.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Any
 
 from ..core.budget import Budget
+from ..core.evaluator import QueryEvaluator
 from ..core.parallel import CRASH_EXIT_CODE, parallel_restarts
 from ..faults import SITE_SERVICE_JOB, FaultPlan, InjectedCrash, activate_plan, fault_point
 from ..obs import Observation, export_state, observe
@@ -71,6 +73,9 @@ class SolveJob:
     #: server-side monotonic dispatch number — the ``service.job`` fault
     #: site's index, stable across re-dispatches of the same request
     fault_index: int = 0
+    #: starting incumbent (requester numbering) from the cache's near-miss
+    #: tier; seeds the search, which then can only improve on it
+    warm_start: tuple[int, ...] | None = None
 
 
 # Per-process state, set once by the pool initializer.
@@ -84,9 +89,17 @@ _IN_POOL_WORKER = False
 def init_service_worker(
     registry_spec: dict[str, Any], fault_plan: dict[str, Any] | None = None
 ) -> None:
-    """Pool initializer: rebuild the lazy registry inside this worker."""
+    """Pool initializer: rebuild the lazy registry inside this worker.
+
+    Warm (shared-memory) entries are attached eagerly — the attach is a
+    few mmaps, and doing it here keeps the first deadline-bounded request
+    as cheap as every later one.  Pool rebuilds after faults run this
+    again with the same spec, so recovered workers re-attach to the same
+    published segments.
+    """
     global _WORKER_REGISTRY, _IN_POOL_WORKER
     _WORKER_REGISTRY = DatasetRegistry.from_spec(registry_spec)
+    _WORKER_REGISTRY.attach_warm()
     _IN_POOL_WORKER = True
     activate_plan(FaultPlan.from_dict(fault_plan))
 
@@ -106,6 +119,39 @@ def _resolve_instance(
     return ProblemInstance(query=query, datasets=datasets)
 
 
+#: registry-resolved instances keep one evaluator per (data, query) for the
+#: worker's lifetime — building the evaluator was the last per-request
+#: setup cost once datasets attach from shared memory.  The instance object
+#: is stored alongside so a reloaded registry entry invalidates the cache.
+_EVALUATOR_CACHE: dict[str, tuple[ProblemInstance, QueryEvaluator]] = {}
+_EVALUATOR_CACHE_LIMIT = 32
+
+
+def _evaluator_key(job: SolveJob) -> str | None:
+    """Cache key for the job's evaluator; ``None`` for inline instances."""
+    if job.inline_instance is not None:
+        return None
+    if job.instance_name is not None:
+        return f"instance:{job.instance_name}"
+    return "query:" + json.dumps(
+        [list(job.dataset_names or ()), job.query], sort_keys=True
+    )
+
+
+def _evaluator_for(job: SolveJob, instance: ProblemInstance) -> QueryEvaluator:
+    key = _evaluator_key(job)
+    if key is None:
+        return QueryEvaluator(instance)
+    cached = _EVALUATOR_CACHE.get(key)
+    if cached is not None and cached[0] is instance:
+        return cached[1]
+    evaluator = QueryEvaluator(instance)
+    if len(_EVALUATOR_CACHE) >= _EVALUATOR_CACHE_LIMIT:
+        _EVALUATOR_CACHE.clear()
+    _EVALUATOR_CACHE[key] = (instance, evaluator)
+    return evaluator
+
+
 def solve_with_budget(
     instance: ProblemInstance, job: SolveJob, budget: Budget
 ) -> dict[str, Any]:
@@ -122,6 +168,8 @@ def solve_with_budget(
         heuristic=job.algorithm,
         restarts=job.restarts,
         workers=1,  # process parallelism belongs to the server's pool
+        evaluator=_evaluator_for(job, instance),
+        warm_start=job.warm_start,
     )
     return {
         "assignment": list(result.best_assignment),
@@ -132,6 +180,7 @@ def solve_with_budget(
         "iterations": result.iterations,
         "elapsed": result.elapsed,
         "algorithm": job.algorithm,
+        "warm_started": job.warm_start is not None,
     }
 
 

@@ -1,0 +1,36 @@
+"""Warm-state worker plane: shared-memory datasets and attachable indexes.
+
+Datasets and their packed R*-trees are published once per machine into
+POSIX shared memory (:mod:`repro.warm.segments`); worker processes attach
+to the published segments by name (:mod:`repro.warm.plane`) instead of
+re-loading files and re-building indexes, so per-request work collapses to
+the solve itself.
+"""
+
+from .plane import (
+    WarmDatasetSpec,
+    WarmInstanceSpec,
+    WarmPlane,
+    attach_dataset,
+    attach_instance,
+)
+from .segments import (
+    DuplicateSegmentError,
+    SegmentError,
+    SegmentGoneError,
+    SegmentManager,
+    SegmentSpec,
+)
+
+__all__ = [
+    "DuplicateSegmentError",
+    "SegmentError",
+    "SegmentGoneError",
+    "SegmentManager",
+    "SegmentSpec",
+    "WarmDatasetSpec",
+    "WarmInstanceSpec",
+    "WarmPlane",
+    "attach_dataset",
+    "attach_instance",
+]

@@ -1,0 +1,224 @@
+"""Refcounted POSIX shared-memory segments holding NumPy arrays.
+
+One :class:`SegmentManager` per process tracks every segment that process
+has opened.  The *publisher* creates a segment (``publish``), keeps it
+alive for the plane's lifetime and eventually destroys it (``unlink``);
+*attachers* in other processes map the same pages read-only (``attach``)
+and drop their mapping with ``release``.  A :class:`SegmentSpec` — name,
+dtype, shape — is all that crosses process boundaries; the array payload
+itself is never pickled.
+
+Lifecycle discipline (statically enforced by repro-lint rule RL009): every
+``SharedMemory`` construction here is guarded so the segment is closed —
+and, for owners, unlinked — on *every* exit path, including mid-publish
+failures.  ``shutdown`` reports anything still open as leaked, which the
+tests treat as a hard failure.
+
+The OS-level segment names are deterministic per process
+(pid + monotonic counter): collisions with a concurrent publisher surface
+as :class:`DuplicateSegmentError` rather than being papered over with
+random names, keeping publishes reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "DuplicateSegmentError",
+    "SegmentError",
+    "SegmentGoneError",
+    "SegmentManager",
+    "SegmentSpec",
+    "unique_segment_name",
+]
+
+
+class SegmentError(RuntimeError):
+    """Base class for shared-memory segment lifecycle errors."""
+
+
+class DuplicateSegmentError(SegmentError):
+    """A segment (or plane registry name) was published twice."""
+
+
+class SegmentGoneError(SegmentError):
+    """Attach raced an unlink: the named segment no longer exists."""
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Picklable handle for one published array segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Exact payload size; the OS segment may be page-rounded larger."""
+        return int(np.dtype(self.dtype).itemsize) * math.prod(self.shape)
+
+
+_NAME_COUNTER = 0
+
+
+def unique_segment_name(tag: str = "seg") -> str:
+    """A process-unique OS segment name (no randomness, no clock)."""
+    global _NAME_COUNTER
+    _NAME_COUNTER += 1
+    return f"repro-{os.getpid()}-{_NAME_COUNTER}-{tag}"
+
+
+@dataclass
+class _OpenSegment:
+    """One segment this process has mapped: the handle plus bookkeeping."""
+
+    shm: shared_memory.SharedMemory
+    spec: SegmentSpec
+    refs: int
+    owner: bool
+
+
+class SegmentManager:
+    """Tracks every segment opened by this process, by OS name.
+
+    Publishers own their segments (``owner=True``) and must ``unlink``;
+    attachers hold a refcount and ``release``.  Anything still open at
+    ``shutdown`` is closed defensively and reported as leaked.
+    """
+
+    def __init__(self) -> None:
+        self._open: dict[str, _OpenSegment] = {}
+
+    # ------------------------------------------------------------------
+    # publish / attach
+    # ------------------------------------------------------------------
+    def publish(self, array: np.ndarray, name: str | None = None) -> SegmentSpec:
+        """Copy ``array`` into a fresh segment; returns its picklable spec."""
+        array = np.ascontiguousarray(array)
+        name = name if name is not None else unique_segment_name()
+        if name in self._open:
+            raise DuplicateSegmentError(
+                f"segment {name!r} is already open in this process"
+            )
+        spec = SegmentSpec(name=name, dtype=str(array.dtype), shape=tuple(array.shape))
+        shm: shared_memory.SharedMemory | None = None
+        try:
+            # size floor of 1: zero-byte POSIX segments are not portable
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, array.nbytes)
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+        except FileExistsError as error:
+            raise DuplicateSegmentError(
+                f"OS segment {name!r} already exists (concurrent publisher?)"
+            ) from error
+        except BaseException:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            raise
+        self._open[name] = _OpenSegment(shm=shm, spec=spec, refs=1, owner=True)
+        return spec
+
+    def attach(self, spec: SegmentSpec) -> np.ndarray:
+        """A read-only zero-copy array over the published segment.
+
+        Each attach bumps the refcount; pair with :meth:`release`.
+        Raises :class:`SegmentGoneError` when the segment was unlinked (or
+        never published on this machine).
+        """
+        segment = self._open.get(spec.name)
+        if segment is None:
+            shm: shared_memory.SharedMemory | None = None
+            try:
+                shm = shared_memory.SharedMemory(name=spec.name)
+                if shm.size < spec.nbytes:
+                    raise SegmentError(
+                        f"segment {spec.name!r} holds {shm.size} bytes but the "
+                        f"spec describes {spec.nbytes}"
+                    )
+            except FileNotFoundError as error:
+                raise SegmentGoneError(
+                    f"segment {spec.name!r} is gone: it was unlinked or never "
+                    f"published on this machine"
+                ) from error
+            except BaseException:
+                if shm is not None:
+                    shm.close()
+                raise
+            segment = _OpenSegment(shm=shm, spec=spec, refs=0, owner=False)
+            self._open[spec.name] = segment
+        segment.refs += 1
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.shm.buf)
+        if not segment.owner:
+            view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # release / unlink
+    # ------------------------------------------------------------------
+    def release(self, name: str) -> None:
+        """Drop one attach reference; the mapping closes at refcount zero."""
+        segment = self._open.get(name)
+        if segment is None:
+            raise SegmentError(f"segment {name!r} is not open in this process")
+        segment.refs -= 1
+        if segment.refs <= 0 and not segment.owner:
+            segment.shm.close()
+            del self._open[name]
+
+    def unlink(self, name: str) -> None:
+        """Destroy an owned segment: close the mapping and remove the name."""
+        segment = self._open.get(name)
+        if segment is None:
+            raise SegmentError(f"segment {name!r} is not open in this process")
+        if not segment.owner:
+            raise SegmentError(
+                f"segment {name!r} is attached, not owned; use release()"
+            )
+        segment.shm.close()
+        try:
+            segment.shm.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere; name is free
+            pass
+        del self._open[name]
+
+    # ------------------------------------------------------------------
+    # inspection / shutdown
+    # ------------------------------------------------------------------
+    def open_names(self) -> list[str]:
+        return sorted(self._open)
+
+    def is_open(self, name: str) -> bool:
+        return name in self._open
+
+    def shutdown(self) -> dict[str, Any]:
+        """Close everything still open; owned segments are also unlinked.
+
+        Returns ``{"closed", "unlinked", "leaked"}`` where ``leaked`` lists
+        the names that were still open — under correct use the caller has
+        already released/unlinked everything and the list is empty.
+        """
+        leaked = sorted(self._open)
+        closed = 0
+        unlinked = 0
+        for segment in self._open.values():
+            segment.shm.close()
+            closed += 1
+            if segment.owner:
+                try:
+                    segment.shm.unlink()
+                except FileNotFoundError:
+                    pass
+                unlinked += 1
+        self._open.clear()
+        return {"closed": closed, "unlinked": unlinked, "leaked": leaked}

@@ -1,4 +1,4 @@
-"""Fixture tests for the repro-lint checker suite (rules RL001–RL008).
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL009).
 
 Each rule gets one known-good and one known-bad snippet; the suite also
 covers suppressions, the JSON report round-trip, the CLI exit contract,
@@ -38,9 +38,10 @@ def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
     return lint_source(source, path=path, **kwargs)
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     assert set(all_checkers()) >= {
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"
+        "RL001", "RL002", "RL003", "RL004", "RL005",
+        "RL006", "RL007", "RL008", "RL009",
     }
 
 
@@ -541,6 +542,116 @@ def test_rl008_out_of_scope_locations():
     assert not lint(RL008_BAD_SWALLOWED, path=CORE_PATH, select=["RL008"])
     assert not lint(
         RL008_BAD_SWALLOWED, path="tests/test_service.py", select=["RL008"]
+    )
+
+
+# ----------------------------------------------------------------------
+# RL009 — shared-memory segment lifecycle
+# ----------------------------------------------------------------------
+WARM_PATH = "src/repro/warm/segments.py"
+
+RL009_GOOD_WITH = """
+from multiprocessing import shared_memory
+
+def peek(name):
+    with shared_memory.SharedMemory(name=name) as shm:
+        return bytes(shm.buf[:8])
+"""
+
+RL009_GOOD_TRY_EXCEPT = """
+from multiprocessing import shared_memory
+
+def publish(name, size):
+    shm = None
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    except BaseException:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+        raise
+    return shm
+"""
+
+RL009_GOOD_TRY_FINALLY = """
+from multiprocessing import shared_memory
+
+def copy_out(name):
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+"""
+
+RL009_BAD_CREATION_BEFORE_TRY = """
+from multiprocessing import shared_memory
+
+def copy_out(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+"""
+
+RL009_BAD_NAKED = """
+from multiprocessing import shared_memory
+
+def publish(name, size):
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    return shm
+"""
+
+RL009_BAD_NO_CLEANUP = """
+from multiprocessing import shared_memory
+
+def publish(name, size):
+    try:
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        return None
+"""
+
+
+def test_rl009_context_manager_is_clean():
+    assert not lint(RL009_GOOD_WITH, path=WARM_PATH, select=["RL009"])
+
+
+def test_rl009_guarded_try_except_is_clean():
+    assert not lint(RL009_GOOD_TRY_EXCEPT, path=WARM_PATH, select=["RL009"])
+
+
+def test_rl009_try_finally_is_clean():
+    assert not lint(RL009_GOOD_TRY_FINALLY, path=WARM_PATH, select=["RL009"])
+
+
+def test_rl009_creation_before_the_try_is_flagged():
+    # the creation line itself sits outside any guard: an exception
+    # between it and the try (however unlikely) strands the segment
+    findings = lint(
+        RL009_BAD_CREATION_BEFORE_TRY, path=WARM_PATH, select=["RL009"]
+    )
+    assert len(findings) == 1
+
+
+def test_rl009_naked_creation():
+    findings = lint(RL009_BAD_NAKED, path=WARM_PATH, select=["RL009"])
+    assert len(findings) == 1
+    assert findings[0].rule == "RL009"
+    assert "leak" in findings[0].message
+
+
+def test_rl009_try_without_cleanup():
+    findings = lint(RL009_BAD_NO_CLEANUP, path=WARM_PATH, select=["RL009"])
+    assert len(findings) == 1
+
+
+def test_rl009_out_of_scope_locations():
+    assert not lint(RL009_BAD_NAKED, path=SERVICE_PATH, select=["RL009"])
+    assert not lint(RL009_BAD_NAKED, path=CORE_PATH, select=["RL009"])
+    assert not lint(
+        RL009_BAD_NAKED, path="tests/test_warm.py", select=["RL009"]
     )
 
 
