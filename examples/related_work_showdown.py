@@ -14,7 +14,6 @@ Run:  python examples/related_work_showdown.py
 """
 
 import random
-import time
 
 from repro import (
     Budget,
@@ -25,6 +24,7 @@ from repro import (
     indexed_local_search,
     indexed_simulated_annealing,
 )
+from repro.core.budget import Stopwatch
 from repro.strings2d import ImageDatabase, LabelledObject
 
 
@@ -42,9 +42,9 @@ def main() -> None:
         for rect in dataset.rects
     ]
     database = ImageDatabase()
-    started = time.perf_counter()
+    watch = Stopwatch()
     database.add_image("map", picture)
-    encode_time = time.perf_counter() - started
+    encode_time = watch.elapsed()
 
     rng = random.Random(0)
     query = [
@@ -53,9 +53,9 @@ def main() -> None:
                                                         0.02, 0.02))
         for index in range(5)
     ]
-    started = time.perf_counter()
+    watch = Stopwatch()
     hits = database.search(query, top_k=1)
-    query_time = time.perf_counter() - started
+    query_time = watch.elapsed()
     print("2D strings  : encoded the map in "
           f"{encode_time:.2f}s; one similarity query took {query_time:.2f}s "
           f"and can only say 'this image scores {hits[0].similarity:.2f}' — "

@@ -2,15 +2,21 @@
 
 The framework (:mod:`repro.analysis.framework`) parses each source file
 once and dispatches to registered :class:`~repro.analysis.framework.Checker`
-subclasses; the project's invariants live in :mod:`repro.analysis.rules`
-(RL001–RL007) and the console entry point in :mod:`repro.analysis.cli`.
+subclasses; a second phase builds the whole-program model of
+:mod:`repro.analysis.project` (symbol tables, import graph, call graph,
+taint) and runs the cross-module
+:class:`~repro.analysis.framework.ProjectChecker` rules over it.  The
+project's invariants live in :mod:`repro.analysis.rules` (RL001–RL013)
+and the console entry point in :mod:`repro.analysis.cli`.
 """
 
 from .framework import (
     AnalysisContext,
     Checker,
     Finding,
+    LintStats,
     Module,
+    ProjectChecker,
     all_checkers,
     analyze_paths,
     findings_from_json,
@@ -19,17 +25,37 @@ from .framework import (
     render_json,
     render_text,
 )
-from . import rules  # noqa: F401  (side effect: registers RL001-RL007)
+from .project import (
+    CallEdge,
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectModel,
+    TaintAnalysis,
+    TaintViolation,
+    module_name_for_path,
+)
+from . import rules  # noqa: F401  (side effect: registers RL001-RL013)
 
 __all__ = [
     "AnalysisContext",
+    "CallEdge",
     "Checker",
+    "ClassInfo",
     "Finding",
+    "FunctionInfo",
+    "LintStats",
     "Module",
+    "ModuleSymbols",
+    "ProjectChecker",
+    "ProjectModel",
+    "TaintAnalysis",
+    "TaintViolation",
     "all_checkers",
     "analyze_paths",
     "findings_from_json",
     "lint_source",
+    "module_name_for_path",
     "register",
     "render_json",
     "render_text",

@@ -20,20 +20,21 @@ from typing import Sequence
 
 from .framework import (
     AnalysisContext,
+    LintStats,
     all_checkers,
     analyze_paths,
     render_json,
     render_text,
 )
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "render_stats"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="AST-based invariant checkers for the repro engine "
-        "(rules RL001-RL006; see docs/static-analysis.md)",
+        "(rules RL001-RL013; see docs/static-analysis.md)",
     )
     parser.add_argument(
         "paths",
@@ -68,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding/suppression counts to stderr "
+        "(suppression creep stays visible in CI logs)",
+    )
     return parser
 
 
@@ -90,6 +97,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     missing = [path for path in options.paths if not Path(path).exists()]
     if missing:
         parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+    stats = LintStats() if options.stats else None
     try:
         findings = analyze_paths(
             options.paths,
@@ -97,6 +105,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             select=_split_rules(options.select),
             disable=_split_rules(options.disable),
             context=AnalysisContext.from_root(root),
+            stats=stats,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -105,7 +114,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_json(findings))
     else:
         print(render_text(findings))
+    if stats is not None:
+        # stderr keeps the json report on stdout machine-parseable
+        print(render_stats(stats), file=sys.stderr)
     return 1 if findings else 0
+
+
+def render_stats(stats: LintStats) -> str:
+    """Per-rule finding/suppression table (the ``--stats`` payload)."""
+    lines = [f"repro-lint stats: {stats.files} file(s) analyzed"]
+    rules = stats.rules()
+    if not rules:
+        lines.append("  no findings, no suppressions")
+        return "\n".join(lines)
+    lines.append(f"  {'rule':<8}{'findings':>10}{'suppressed':>12}")
+    for rule in rules:
+        lines.append(
+            f"  {rule:<8}{stats.findings.get(rule, 0):>10}"
+            f"{stats.suppressed.get(rule, 0):>12}"
+        )
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

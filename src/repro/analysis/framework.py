@@ -41,7 +41,9 @@ __all__ = [
     "AnalysisContext",
     "Checker",
     "Finding",
+    "LintStats",
     "Module",
+    "ProjectChecker",
     "all_checkers",
     "analyze_paths",
     "findings_from_json",
@@ -63,7 +65,13 @@ _DIRECTIVE = re.compile(
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation: where it is, what it violates, how to fix it."""
+    """One rule violation: where it is, what it violates, how to fix it.
+
+    Cross-module (project) findings additionally carry ``chain`` — the
+    call/flow witness from the entry point down to the flagged site,
+    entry point first (for RL010 that is the ``async def`` whose handler
+    transitively blocks, including its path).
+    """
 
     path: str
     line: int
@@ -71,15 +79,20 @@ class Finding:
     rule: str
     message: str
     hint: str = ""
+    chain: tuple[str, ...] = ()
 
     def format(self) -> str:
         text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.chain:
+            text += f"  [via: {' -> '.join(self.chain)}]"
         if self.hint:
             text += f"  [hint: {self.hint}]"
         return text
 
     def to_dict(self) -> dict[str, object]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["chain"] = list(self.chain)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "Finding":
@@ -87,6 +100,8 @@ class Finding:
         unknown = set(payload) - names
         if unknown:
             raise ValueError(f"unknown Finding fields: {sorted(unknown)}")
+        payload = dict(payload)
+        payload["chain"] = tuple(payload.get("chain", ()))  # type: ignore[arg-type]
         return cls(**payload)  # type: ignore[arg-type]
 
 
@@ -220,6 +235,59 @@ class Checker:
         )
 
 
+class ProjectChecker(Checker):
+    """Base class for cross-module rules (the project analysis phase).
+
+    Project checkers do not run per file; after every module is parsed
+    the framework builds a :class:`repro.analysis.project.ProjectModel`
+    (symbol tables, import graph, call graph) and hands it to
+    :meth:`check_project` once.  Findings anchor at whatever file/line
+    the rule chooses, so per-line suppressions keep working: a
+    ``# repro-lint: disable=RL0xx`` on the anchored line mutes the
+    finding exactly like a per-module one.
+    """
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, model: "object") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        node: object,
+        message: str,
+        hint: str = "",
+        chain: Sequence[str] = (),
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            hint=hint,
+            chain=tuple(chain),
+        )
+
+
+@dataclass
+class LintStats:
+    """Per-rule finding/suppression tallies for one analysis run."""
+
+    files: int = 0
+    findings: dict[str, int] = field(default_factory=dict)
+    suppressed: dict[str, int] = field(default_factory=dict)
+
+    def count(self, finding: Finding, suppressed: bool) -> None:
+        bucket = self.suppressed if suppressed else self.findings
+        bucket[finding.rule] = bucket.get(finding.rule, 0) + 1
+
+    def rules(self) -> list[str]:
+        return sorted(set(self.findings) | set(self.suppressed))
+
+
 _REGISTRY: dict[str, type[Checker]] = {}
 
 
@@ -330,15 +398,61 @@ def _selected_checkers(
     return [registry[rule]() for rule in chosen if rule not in excluded]
 
 
-def _check_module(module: Module, checkers: Sequence[Checker]) -> list[Finding]:
-    suppressions = _parse_suppressions(module.source)
+def _partition_checkers(
+    checkers: Sequence[Checker],
+) -> tuple[list[Checker], list[ProjectChecker]]:
+    per_module = [c for c in checkers if not isinstance(c, ProjectChecker)]
+    project = [c for c in checkers if isinstance(c, ProjectChecker)]
+    return per_module, project
+
+
+def _check_module(
+    module: Module,
+    checkers: Sequence[Checker],
+    suppressions: _Suppressions,
+    stats: LintStats | None = None,
+) -> list[Finding]:
     findings = [
         finding
         for checker in checkers
         if checker.applies(module)
         for finding in checker.check(module)
     ]
-    return sorted(f for f in findings if not suppressions.active(f))
+    return _apply_suppressions(findings, {module.path: suppressions}, stats)
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions_by_path: dict[str, _Suppressions],
+    stats: LintStats | None,
+) -> list[Finding]:
+    kept: list[Finding] = []
+    for finding in findings:
+        suppressions = suppressions_by_path.get(finding.path)
+        suppressed = suppressions is not None and suppressions.active(finding)
+        if stats is not None:
+            stats.count(finding, suppressed)
+        if not suppressed:
+            kept.append(finding)
+    return sorted(kept)
+
+
+def _check_project(
+    modules: Sequence[Module],
+    checkers: Sequence[ProjectChecker],
+    suppressions_by_path: dict[str, _Suppressions],
+    stats: LintStats | None = None,
+) -> list[Finding]:
+    """The second phase: build the whole-program model, run project rules."""
+    if not checkers or not modules:
+        return []
+    from .project import ProjectModel  # local import breaks the module cycle
+
+    model = ProjectModel(modules)
+    findings = [
+        finding for checker in checkers for finding in checker.check_project(model)
+    ]
+    return _apply_suppressions(findings, suppressions_by_path, stats)
 
 
 def lint_source(
@@ -347,7 +461,12 @@ def lint_source(
     context: AnalysisContext | None = None,
     select: Sequence[str] | None = None,
 ) -> list[Finding]:
-    """Lint one in-memory source blob (the unit-test entry point)."""
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    Project checkers run over a single-module project model, so
+    cross-module rules can be exercised from one fixture as long as the
+    fixture is self-contained (or supplies its own local helpers).
+    """
     context = context or AnalysisContext(root=Path("."))
     try:
         tree = ast.parse(source)
@@ -362,7 +481,11 @@ def lint_source(
             )
         ]
     module = Module(path=path, source=source, tree=tree, context=context)
-    return _check_module(module, _selected_checkers(select, None))
+    suppressions = _parse_suppressions(source)
+    per_module, project = _partition_checkers(_selected_checkers(select, None))
+    findings = _check_module(module, per_module, suppressions)
+    findings += _check_project([module], project, {path: suppressions})
+    return sorted(findings)
 
 
 def analyze_paths(
@@ -371,14 +494,25 @@ def analyze_paths(
     select: Sequence[str] | None = None,
     disable: Sequence[str] | None = None,
     context: AnalysisContext | None = None,
+    stats: LintStats | None = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; returns sorted findings."""
+    """Lint every Python file under ``paths``; returns sorted findings.
+
+    Runs both phases: per-module checkers on each file, then project
+    checkers over the whole-program model built from every file that
+    parsed.  Pass ``stats`` to collect per-rule finding/suppression
+    tallies (the CLI's ``--stats`` flag).
+    """
     root = Path(root) if root is not None else Path.cwd()
     context = context or AnalysisContext.from_root(root)
-    checkers = _selected_checkers(select, disable)
+    per_module, project = _partition_checkers(_selected_checkers(select, disable))
     findings: list[Finding] = []
+    modules: list[Module] = []
+    suppressions_by_path: dict[str, _Suppressions] = {}
     for file_path in iter_python_files(paths):
         relative = _relative(file_path, root)
+        if stats is not None:
+            stats.files += 1
         try:
             source = file_path.read_text(encoding="utf-8")
             tree = ast.parse(source)
@@ -395,7 +529,11 @@ def analyze_paths(
             )
             continue
         module = Module(path=relative, source=source, tree=tree, context=context)
-        findings.extend(_check_module(module, checkers))
+        suppressions = _parse_suppressions(source)
+        modules.append(module)
+        suppressions_by_path[relative] = suppressions
+        findings.extend(_check_module(module, per_module, suppressions, stats))
+    findings.extend(_check_project(modules, project, suppressions_by_path, stats))
     return sorted(findings)
 
 

@@ -1,0 +1,915 @@
+"""Whole-program model for cross-module analysis (the project phase).
+
+The per-file checkers of :mod:`repro.analysis.rules` see one AST at a
+time, which is enough for local conventions (seeded RNGs, budget loops)
+but blind to the properties the multi-process engine actually depends
+on: *no* ``async def`` on the serving path may transitively reach a
+blocking call, attached shared-memory arrays must never flow into
+in-place mutation, only spec-shaped values may cross the pickle
+boundary.  This module builds the shared substrate those rules need:
+
+:class:`ModuleSymbols`
+    One symbol table per analyzed file — top-level functions, classes
+    with their methods, import aliases resolved to fully-qualified
+    dotted targets (relative imports included), and top-level string
+    constants.
+:class:`ProjectModel`
+    All symbol tables plus a project-internal import graph and a
+    conservative call graph: every ``def``/``class`` becomes a
+    fully-qualified node, attribute calls are resolved through the
+    symbol tables (``self.method()``, ``Class.method()``,
+    ``module.func()``, and ``self.attr.method()`` via ``__init__``
+    attribute typing), and calls that cannot be resolved are kept as
+    *opaque* edges carrying their dotted source text — so a rule can
+    still match ``time.sleep`` or ``conn.result`` without pretending to
+    know where they lead.
+:meth:`ProjectModel.reaching`
+    The reachability helper: which functions can (transitively) reach an
+    edge matching a predicate, with a witness chain per function.
+:class:`TaintAnalysis`
+    A small forward taint pass: seed values at matching call sites
+    (e.g. the warm plane's attach points), propagate through local
+    assignments, views and call-graph edges, and report flows into
+    in-place NumPy mutation; ``.copy()``-style sanitizers clear taint.
+
+Resolution is deliberately *under*-approximate: an edge is only
+``resolved`` when the target is provably a function or class defined in
+an analyzed module, everything else stays opaque.  Rules built on the
+model therefore miss dynamic dispatch rather than inventing false
+positives — the right trade-off for a CI gate.
+
+Project rules subclass :class:`repro.analysis.framework.ProjectChecker`
+and receive the finished model; see ``docs/static-analysis.md`` for a
+worked example.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Callable, Iterable, Sequence
+
+from .framework import Module, ProjectChecker  # noqa: F401  (re-export)
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectChecker",
+    "ProjectModel",
+    "TaintAnalysis",
+    "TaintViolation",
+    "module_name_for_path",
+]
+
+#: calls whose arguments are *deliberately* shipped off the calling
+#: thread — nothing inside them is an edge of the caller
+_DEFERRAL_TAILS = (".run_in_executor", ".to_thread")
+_DEFERRAL_EXACT = frozenset({"asyncio.to_thread"})
+
+#: sanitizer method names: calling one of these on a tainted value
+#: yields an untainted (freshly allocated) result
+_SANITIZER_METHODS = frozenset({"copy", "tolist", "item", "astype"})
+
+#: sanitizer callables (``np.array`` and friends allocate)
+_SANITIZER_CALLS = frozenset(
+    {"numpy.array", "numpy.copy", "copy.deepcopy", "list", "tuple", "float", "int"}
+)
+
+#: ndarray methods that mutate in place (the RL011 sink family)
+_INPLACE_METHODS = frozenset(
+    {"sort", "resize", "fill", "partition", "put", "itemset", "byteswap"}
+)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a project-relative path.
+
+    ``src/repro/service/server.py`` → ``repro.service.server``;
+    ``__init__`` files name their package.  Paths outside a package
+    layout (benchmarks, examples) map to their stem.
+    """
+    parts = [part for part in path.split("/") if part]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path
+
+
+@dataclass
+class CallEdge:
+    """One call site inside a function.
+
+    ``target`` is the fully-qualified def/class name when ``resolved``,
+    otherwise the dotted source text of the callee (``time.sleep``,
+    ``future.result``) — opaque, but still matchable by rules.
+    """
+
+    target: str
+    resolved: bool
+    line: int
+    col: int
+    call: ast.Call
+
+    def tail(self) -> str:
+        """The last dotted component (method/function name)."""
+        return self.target.rpartition(".")[2]
+
+
+@dataclass
+class FunctionInfo:
+    """A fully-qualified function or method node of the call graph."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    owner: str | None  # owning class qualname, None for module-level defs
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    edges: list[CallEdge] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """A class with its methods and ``__init__``-derived attribute types."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` name → project class qualname, from ``__init__``
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+    def is_dataclass(self) -> bool:
+        for decorator in self.node.decorator_list:
+            name = decorator
+            if isinstance(name, ast.Call):
+                name = name.func
+            dotted = _dotted_text(name)
+            if dotted in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module symbol table: what each local name means."""
+
+    name: str  #: dotted module name
+    module: Module
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: top-level ``NAME = "literal"`` string constants
+    constants: dict[str, tuple[str, int, int]] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+
+def _dotted_text(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_class(annotation: ast.AST | None) -> str | None:
+    """The class-name text of an annotation, unwrapping ``X | None``."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = _annotation_class(annotation.left)
+        if left is not None:
+            return left
+        return _annotation_class(annotation.right)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value
+    return _dotted_text(annotation)
+
+
+class ProjectModel:
+    """Symbol tables + import graph + call graph over analyzed modules."""
+
+    def __init__(self, modules: Sequence[Module]) -> None:
+        self.modules: dict[str, ModuleSymbols] = {}
+        self.by_path: dict[str, ModuleSymbols] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: module name → project-internal modules it imports
+        self.import_graph: dict[str, set[str]] = {}
+        for module in modules:
+            self._index_module(module)
+        for symbols in self.modules.values():
+            self._resolve_import_graph(symbols)
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+        for symbols in self.modules.values():
+            for info in symbols.functions.values():
+                self._collect_edges(symbols, info)
+            for cls in symbols.classes.values():
+                for info in cls.methods.values():
+                    self._collect_edges(symbols, info)
+
+    # ------------------------------------------------------------------
+    # pass 1: symbol tables
+    # ------------------------------------------------------------------
+    def _index_module(self, module: Module) -> None:
+        name = module_name_for_path(module.path)
+        symbols = ModuleSymbols(name=name, module=module)
+        # an ``__init__`` module IS its package: relative imports inside it
+        # resolve against the module name itself, not its parent
+        if PurePosixPath(module.path).name == "__init__.py":
+            package = name
+        else:
+            package = name.rsplit(".", 1)[0] if "." in name else ""
+        for statement in module.tree.body:
+            if isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    symbols.imports[local] = target
+            elif isinstance(statement, ast.ImportFrom):
+                base = self._import_base(name, package, statement)
+                for alias in statement.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    symbols.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{name}.{statement.name}",
+                    module=name,
+                    path=module.path,
+                    name=statement.name,
+                    owner=None,
+                    node=statement,
+                    is_async=isinstance(statement, ast.AsyncFunctionDef),
+                )
+                symbols.functions[statement.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(statement, ast.ClassDef):
+                self._index_class(symbols, statement)
+            elif isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target = statement.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(statement.value, ast.Constant)
+                    and isinstance(statement.value.value, str)
+                ):
+                    symbols.constants[target.id] = (
+                        statement.value.value,
+                        statement.lineno,
+                        statement.col_offset,
+                    )
+        self.modules[name] = symbols
+        self.by_path[module.path] = symbols
+
+    def _index_class(self, symbols: ModuleSymbols, node: ast.ClassDef) -> None:
+        qualname = f"{symbols.name}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            module=symbols.name,
+            path=symbols.path,
+            name=node.name,
+            node=node,
+        )
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    qualname=f"{qualname}.{statement.name}",
+                    module=symbols.name,
+                    path=symbols.path,
+                    name=statement.name,
+                    owner=qualname,
+                    node=statement,
+                    is_async=isinstance(statement, ast.AsyncFunctionDef),
+                )
+                info.methods[statement.name] = method
+                self.functions[method.qualname] = method
+        symbols.classes[node.name] = info
+        self.classes[qualname] = info
+
+    @staticmethod
+    def _import_base(name: str, package: str, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # relative import: climb ``level`` packages up from this module
+        parts = package.split(".") if package else []
+        climb = node.level - 1
+        if climb:
+            parts = parts[: -climb] if climb <= len(parts) else []
+        if node.module:
+            parts += node.module.split(".")
+        return ".".join(parts)
+
+    def _resolve_import_graph(self, symbols: ModuleSymbols) -> None:
+        edges = self.import_graph.setdefault(symbols.name, set())
+        for target in symbols.imports.values():
+            # record the longest prefix that names an analyzed module
+            parts = target.split(".")
+            for stop in range(len(parts), 0, -1):
+                candidate = ".".join(parts[:stop])
+                if candidate in self.modules and candidate != symbols.name:
+                    edges.add(candidate)
+                    break
+
+    def import_cycles(self) -> list[list[str]]:
+        """Strongly-connected components of size > 1 in the import graph."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        cycles: list[list[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in sorted(self.import_graph.get(node, ())):
+                if successor not in index:
+                    strongconnect(successor)
+                    low[node] = min(low[node], low[successor])
+                elif successor in on_stack:
+                    low[node] = min(low[node], index[successor])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cycles.append(sorted(component))
+
+        for node in sorted(self.import_graph):
+            if node not in index:
+                strongconnect(node)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # pass 2: attribute types from __init__
+    # ------------------------------------------------------------------
+    def _infer_attr_types(self, info: ClassInfo) -> None:
+        init = info.methods.get("__init__")
+        if init is None:
+            return
+        symbols = self.modules[info.module]
+        param_types: dict[str, str] = {}
+        args = init.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            resolved = self._class_for_name(
+                symbols, _annotation_class(arg.annotation)
+            )
+            if resolved is not None:
+                param_types[arg.arg] = resolved
+        for statement in ast.walk(init.node):
+            if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                statement.targets
+                if isinstance(statement, ast.Assign)
+                else [statement.target]
+            )
+            value = statement.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                inferred: str | None = None
+                if isinstance(value, ast.Name):
+                    inferred = param_types.get(value.id)
+                elif isinstance(value, ast.Call):
+                    inferred = self._class_for_name(
+                        symbols, _dotted_text(value.func)
+                    )
+                if inferred is None and isinstance(statement, ast.AnnAssign):
+                    inferred = self._class_for_name(
+                        symbols, _annotation_class(statement.annotation)
+                    )
+                if inferred is not None:
+                    info.attr_types[target.attr] = inferred
+
+    def _class_for_name(
+        self, symbols: ModuleSymbols, dotted: str | None
+    ) -> str | None:
+        """Resolve a (possibly imported) class name to its qualname."""
+        if dotted is None:
+            return None
+        resolved = self.resolve_name(symbols, dotted)
+        return resolved if resolved in self.classes else None
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_name(self, symbols: ModuleSymbols, dotted: str) -> str:
+        """Fully qualify ``dotted`` as seen from ``symbols``' module.
+
+        Chases import aliases and one level of package re-exports
+        (``from .hooks import fault_point`` inside ``faults/__init__``),
+        so ``repro.faults.fault_point`` canonicalizes to
+        ``repro.faults.hooks.fault_point``.  Unresolvable names come
+        back unchanged.
+        """
+        head, _, rest = dotted.partition(".")
+        if head in symbols.functions:
+            target = symbols.functions[head].qualname
+        elif head in symbols.classes:
+            target = symbols.classes[head].qualname
+        elif head in symbols.imports:
+            target = symbols.imports[head]
+        else:
+            return self._canonical(dotted)
+        return self._canonical(f"{target}.{rest}" if rest else target)
+
+    def _canonical(self, target: str, depth: int = 0) -> str:
+        """Chase re-export chains until the target is a known def/class."""
+        if depth > 4 or target in self.functions or target in self.classes:
+            return target
+        head, _, tail = target.rpartition(".")
+        module = self.modules.get(head)
+        if module is not None and tail in module.imports:
+            return self._canonical(module.imports[tail], depth + 1)
+        # Class attribute spelled through a re-exporting package:
+        # repro.faults.FaultPlan.from_dict → chase the class part too
+        if head and tail:
+            canonical_head = self._canonical(head, depth + 1)
+            if canonical_head != head:
+                return self._canonical(f"{canonical_head}.{tail}", depth + 1)
+        return target
+
+    def is_defined(self, qualname: str) -> bool:
+        return qualname in self.functions or qualname in self.classes
+
+    # ------------------------------------------------------------------
+    # pass 3: call edges
+    # ------------------------------------------------------------------
+    def _collect_edges(self, symbols: ModuleSymbols, info: FunctionInfo) -> None:
+        local_types: dict[str, str] = {}
+        if info.owner is not None:
+            local_types["self"] = info.owner
+        args = info.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            resolved = self._class_for_name(symbols, _annotation_class(arg.annotation))
+            if resolved is not None:
+                local_types[arg.arg] = resolved
+
+        model = self
+
+        class Collector(ast.NodeVisitor):
+            def visit_Assign(self, node: ast.Assign) -> None:
+                if isinstance(node.value, ast.Call):
+                    constructed = model._class_for_name(
+                        symbols, _dotted_text(node.value.func)
+                    )
+                    if constructed is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                local_types[target.id] = constructed
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                target, resolved = model._resolve_call(symbols, local_types, node)
+                info.edges.append(
+                    CallEdge(
+                        target=target,
+                        resolved=resolved,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        call=node,
+                    )
+                )
+                if _is_deferral(target):
+                    # arguments run on an executor/thread, not here; the
+                    # callee they name is not an edge of this function
+                    return
+                self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                return  # nested defs are not part of this function's flow
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                return
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                return
+
+        collector = Collector()
+        for statement in info.node.body:
+            collector.visit(statement)
+
+    def _resolve_call(
+        self,
+        symbols: ModuleSymbols,
+        local_types: dict[str, str],
+        node: ast.Call,
+    ) -> tuple[str, bool]:
+        dotted = _dotted_text(node.func)
+        if dotted is None:
+            # chained/complex callee: keep the method name matchable
+            if isinstance(node.func, ast.Attribute):
+                return f"?.{node.func.attr}", False
+            return "?", False
+        head, _, rest = dotted.partition(".")
+        # self.method() / self.attr.method() / var.method() via known types
+        if head in local_types:
+            owner = local_types[head]
+            parts = rest.split(".") if rest else []
+            if len(parts) == 1:
+                resolved = self._method_of(owner, parts[0])
+                if resolved is not None:
+                    return resolved, True
+            elif len(parts) == 2:
+                cls = self.classes.get(owner)
+                attr_owner = cls.attr_types.get(parts[0]) if cls else None
+                if attr_owner is not None:
+                    resolved = self._method_of(attr_owner, parts[1])
+                    if resolved is not None:
+                        return resolved, True
+            return dotted, False
+        target = self.resolve_name(symbols, dotted)
+        if target in self.functions:
+            return target, True
+        if target in self.classes:
+            return target, True
+        # Class.method() where Class resolved but method lookup is needed
+        head_target, _, tail = target.rpartition(".")
+        if head_target in self.classes:
+            resolved = self._method_of(head_target, tail)
+            if resolved is not None:
+                return resolved, True
+        return target, False
+
+    def _method_of(self, class_qualname: str, method: str) -> str | None:
+        info = self.classes.get(class_qualname)
+        if info is not None and method in info.methods:
+            return info.methods[method].qualname
+        return None
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def reaching(
+        self,
+        matcher: Callable[[CallEdge], bool],
+        skip_through: Callable[[FunctionInfo], bool] | None = None,
+    ) -> dict[str, tuple[CallEdge, tuple[str, ...]]]:
+        """Functions that can transitively reach a matching edge.
+
+        Returns ``{qualname: (first_edge, witness_chain)}`` where the
+        chain lists the call targets from the function down to (and
+        including) the matching edge.  ``skip_through`` excludes
+        functions from *transmitting* reachability (they can still be
+        queried directly via their own edges).
+        """
+        witness: dict[str, tuple[CallEdge, tuple[str, ...]]] = {}
+        ordered = sorted(self.functions)
+        changed = True
+        while changed:
+            changed = False
+            for qualname in ordered:
+                if qualname in witness:
+                    continue
+                function = self.functions[qualname]
+                if skip_through is not None and skip_through(function):
+                    continue
+                for edge in function.edges:
+                    if matcher(edge):
+                        witness[qualname] = (edge, (edge.target,))
+                        changed = True
+                        break
+                    if edge.resolved and edge.target in witness:
+                        _, chain = witness[edge.target]
+                        witness[qualname] = (edge, (edge.target, *chain))
+                        changed = True
+                        break
+        return witness
+
+
+def _is_deferral(target: str) -> bool:
+    return target in _DEFERRAL_EXACT or target.endswith(_DEFERRAL_TAILS)
+
+
+# ----------------------------------------------------------------------
+# taint
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaintViolation:
+    """A tainted value flowing into an in-place mutation."""
+
+    function: str  #: qualname of the function containing the sink
+    path: str
+    line: int
+    col: int
+    description: str
+    #: call chain from the seeding function down to the sink's function
+    chain: tuple[str, ...]
+
+
+class TaintAnalysis:
+    """Forward taint from matching call sites into in-place mutation.
+
+    ``source`` decides which call edges *produce* tainted values (for
+    RL011: the warm attach points).  Taint propagates through
+    assignments, views (slices, attribute reads, containers) and into
+    callees whose arguments are tainted; sanitizers
+    (``.copy()``/``.tolist()``/``np.array``) clear it.  Sinks are the
+    in-place shapes: subscript stores, augmented assignment, the
+    mutating ndarray methods, and ``np.copyto``.
+    """
+
+    def __init__(
+        self,
+        model: ProjectModel,
+        source: Callable[[CallEdge], bool],
+        max_depth: int = 6,
+    ) -> None:
+        self.model = model
+        self.source = source
+        self.max_depth = max_depth
+        self._memo: dict[tuple[str, frozenset[str]], tuple[tuple[TaintViolation, ...], bool]] = {}
+        self._in_progress: set[tuple[str, frozenset[str]]] = set()
+
+    def run(self, scope: Callable[[FunctionInfo], bool] | None = None) -> list[TaintViolation]:
+        """Analyze every in-scope function with no pre-tainted params."""
+        violations: dict[tuple[str, int, int, str], TaintViolation] = {}
+        for qualname in sorted(self.model.functions):
+            function = self.model.functions[qualname]
+            if scope is not None and not scope(function):
+                continue
+            found, _ = self._analyze(function, frozenset(), depth=0)
+            for violation in found:
+                key = (violation.path, violation.line, violation.col, violation.description)
+                existing = violations.get(key)
+                if existing is None or len(violation.chain) < len(existing.chain):
+                    violations[key] = violation
+        return sorted(
+            violations.values(), key=lambda v: (v.path, v.line, v.col, v.description)
+        )
+
+    # -- one function under one taint configuration ---------------------
+    def _analyze(
+        self, function: FunctionInfo, tainted_params: frozenset[str], depth: int
+    ) -> tuple[tuple[TaintViolation, ...], bool]:
+        key = (function.qualname, tainted_params)
+        if key in self._memo:
+            return self._memo[key]
+        if key in self._in_progress or depth > self.max_depth:
+            return ((), False)
+        self._in_progress.add(key)
+        try:
+            result = self._analyze_body(function, tainted_params, depth)
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = result
+        return result
+
+    def _analyze_body(
+        self, function: FunctionInfo, tainted_params: frozenset[str], depth: int
+    ) -> tuple[tuple[TaintViolation, ...], bool]:
+        symbols = self.model.by_path.get(function.path)
+        if symbols is None:
+            return ((), False)
+        tainted: set[str] = set(tainted_params)
+        violations: list[TaintViolation] = []
+        returns_tainted = [False]
+        analysis = self
+
+        def expr_tainted(node: ast.AST | None) -> bool:
+            if node is None:
+                return False
+            if isinstance(node, ast.Name):
+                return node.id in tainted
+            if isinstance(node, ast.Attribute):
+                return expr_tainted(node.value)
+            if isinstance(node, ast.Subscript):
+                return expr_tainted(node.value)  # basic slices are views
+            if isinstance(node, ast.Starred):
+                return expr_tainted(node.value)
+            if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+                return any(expr_tainted(element) for element in node.elts)
+            if isinstance(node, ast.IfExp):
+                return expr_tainted(node.body) or expr_tainted(node.orelse)
+            if isinstance(node, ast.NamedExpr):
+                return expr_tainted(node.value)
+            if isinstance(node, ast.Call):
+                return call_tainted(node)
+            # BinOp/comparisons/comprehensions allocate fresh results
+            return False
+
+        def call_tainted(node: ast.Call) -> bool:
+            edge = edge_at(node)
+            target = edge.target if edge is not None else "?"
+            if edge is not None and analysis.source(edge):
+                return True
+            tail = target.rpartition(".")[2]
+            base_tainted = isinstance(node.func, ast.Attribute) and expr_tainted(
+                node.func.value
+            )
+            if tail in _SANITIZER_METHODS and isinstance(node.func, ast.Attribute):
+                return False
+            if target in _SANITIZER_CALLS:
+                return False
+            args_tainted = any(expr_tainted(arg) for arg in node.args) or any(
+                expr_tainted(keyword.value) for keyword in node.keywords
+            )
+            if edge is not None and edge.resolved and edge.target in analysis.model.functions:
+                callee = analysis.model.functions[edge.target]
+                mapped = map_tainted_params(callee, node)
+                if mapped:
+                    callee_violations, callee_returns = analysis._analyze(
+                        callee, mapped, depth + 1
+                    )
+                    for violation in callee_violations:
+                        violations.append(
+                            TaintViolation(
+                                function=violation.function,
+                                path=violation.path,
+                                line=violation.line,
+                                col=violation.col,
+                                description=violation.description,
+                                chain=(function.qualname, *violation.chain),
+                            )
+                        )
+                    return callee_returns
+                _, callee_returns = analysis._analyze(callee, frozenset(), depth + 1)
+                return callee_returns
+            # unresolved call over tainted input: assume the result may
+            # alias it (views like ``table.T`` keep the shared buffer)
+            return base_tainted or args_tainted
+
+        def map_tainted_params(
+            callee: FunctionInfo, node: ast.Call
+        ) -> frozenset[str]:
+            parameters = callee.node.args
+            names = [arg.arg for arg in parameters.posonlyargs + parameters.args]
+            if callee.owner is not None and names and names[0] == "self":
+                names = names[1:]
+            mapped: set[str] = set()
+            for position, arg in enumerate(node.args):
+                if position < len(names) and expr_tainted(arg):
+                    mapped.add(names[position])
+            keyword_names = set(names) | {
+                arg.arg for arg in parameters.kwonlyargs
+            }
+            for keyword in node.keywords:
+                if keyword.arg in keyword_names and expr_tainted(keyword.value):
+                    mapped.add(keyword.arg)  # type: ignore[arg-type]
+            return frozenset(mapped)
+
+        def edge_at(node: ast.Call) -> CallEdge | None:
+            for edge in function.edges:
+                if edge.call is node:
+                    return edge
+            return None
+
+        def record(node: ast.AST, description: str) -> None:
+            violations.append(
+                TaintViolation(
+                    function=function.qualname,
+                    path=function.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    description=description,
+                    chain=(function.qualname,),
+                )
+            )
+
+        def handle_statement(statement: ast.stmt) -> None:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                return
+            if isinstance(statement, ast.Assign):
+                check_expression(statement.value)
+                value_tainted = expr_tainted(statement.value)
+                for target in statement.targets:
+                    assign_target(target, value_tainted)
+                return
+            if isinstance(statement, ast.AnnAssign):
+                if statement.value is not None:
+                    check_expression(statement.value)
+                    assign_target(statement.target, expr_tainted(statement.value))
+                return
+            if isinstance(statement, ast.AugAssign):
+                target = statement.target
+                base = target.value if isinstance(target, (ast.Subscript, ast.Attribute)) else target
+                if expr_tainted(base):
+                    record(
+                        statement,
+                        "augmented assignment writes into an attached array",
+                    )
+                check_expression(statement.value)
+                return
+            if isinstance(statement, ast.Return):
+                check_expression(statement.value)
+                if expr_tainted(statement.value):
+                    returns_tainted[0] = True
+                return
+            if isinstance(statement, ast.Expr):
+                check_expression(statement.value)
+                return
+            if isinstance(statement, (ast.If, ast.While)):
+                check_expression(statement.test)
+                for child in statement.body + statement.orelse:
+                    handle_statement(child)
+                return
+            if isinstance(statement, (ast.For, ast.AsyncFor)):
+                check_expression(statement.iter)
+                assign_target(statement.target, expr_tainted(statement.iter))
+                for child in statement.body + statement.orelse:
+                    handle_statement(child)
+                return
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    check_expression(item.context_expr)
+                    if item.optional_vars is not None:
+                        assign_target(
+                            item.optional_vars, expr_tainted(item.context_expr)
+                        )
+                for child in statement.body:
+                    handle_statement(child)
+                return
+            if isinstance(statement, ast.Try):
+                for child in (
+                    statement.body
+                    + statement.orelse
+                    + statement.finalbody
+                    + [s for handler in statement.handlers for s in handler.body]
+                ):
+                    handle_statement(child)
+                return
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    check_expression(child)
+                elif isinstance(child, ast.stmt):
+                    handle_statement(child)
+
+        def assign_target(target: ast.AST, value_tainted: bool) -> None:
+            if isinstance(target, ast.Name):
+                if value_tainted:
+                    tainted.add(target.id)
+                else:
+                    tainted.discard(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    assign_target(element, value_tainted)
+            elif isinstance(target, ast.Subscript):
+                if expr_tainted(target.value):
+                    record(target, "subscript store writes into an attached array")
+            # plain attribute stores (``self.x = view``) end propagation
+
+        def check_expression(node: ast.AST | None) -> None:
+            """Find sink calls anywhere inside an expression."""
+            if node is None:
+                return
+            for call in [
+                child for child in ast.walk(node) if isinstance(child, ast.Call)
+            ]:
+                if isinstance(call.func, ast.Attribute):
+                    method = call.func.attr
+                    if method in _INPLACE_METHODS and expr_tainted(call.func.value):
+                        record(
+                            call,
+                            f".{method}() mutates an attached array in place",
+                        )
+                dotted = _dotted_text(call.func)
+                if dotted is not None:
+                    resolved = self.model.resolve_name(symbols, dotted)
+                    if resolved.rpartition(".")[2] == "copyto" and call.args:
+                        if expr_tainted(call.args[0]):
+                            record(
+                                call,
+                                "np.copyto writes into an attached array",
+                            )
+                # evaluating the call also walks into resolved callees
+                expr_tainted(call)
+
+        for statement in function.node.body:
+            handle_statement(statement)
+        return tuple(violations), returns_tainted[0]
+
+
+def build_model(modules: Iterable[Module]) -> ProjectModel:
+    """Convenience constructor (mirrors :func:`ProjectModel`)."""
+    return ProjectModel(list(modules))

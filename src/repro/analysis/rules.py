@@ -1,8 +1,10 @@
-"""The repro project's invariant checkers (rules RL001–RL009).
+"""The repro project's invariant checkers (rules RL001–RL013).
 
 Each rule encodes one convention the engine's correctness or
 reproducibility depends on; see ``docs/static-analysis.md`` for the full
-rationale and suppression guidance.
+rationale and suppression guidance.  RL001–RL009 are per-module rules;
+RL010–RL013 run in the project phase over the whole-program model of
+:mod:`repro.analysis.project` (call graph, symbol tables, taint).
 
 ================  ====================================================
 RL001             unseeded randomness outside ``tests/``
@@ -22,6 +24,14 @@ RL008             broad ``except`` clauses in ``service/`` and
 RL009             ``SharedMemory`` constructions in ``warm/`` outside a
                   context manager or a ``try`` with reachable
                   ``close()``/``unlink()`` cleanup
+RL010             blocking calls transitively reachable from ``async
+                  def`` handlers in ``service/``
+RL011             attached warm-plane arrays flowing into in-place
+                  NumPy mutation without ``.copy()``
+RL012             non-spec values crossing the process-pool pickle
+                  boundary (``submit``/``run_specs*``/``SolveJob``)
+RL013             ``fault_point`` sites not declared in
+                  ``faults/hooks.py``, and declared-but-dead sites
 ================  ====================================================
 """
 
@@ -31,7 +41,13 @@ import ast
 import re
 from typing import Iterator
 
-from .framework import Checker, Finding, Module, register
+from .framework import Checker, Finding, Module, ProjectChecker, register
+from .project import (
+    CallEdge,
+    FunctionInfo,
+    ProjectModel,
+    TaintAnalysis,
+)
 
 __all__ = [
     "UnseededRandomness",
@@ -43,6 +59,10 @@ __all__ = [
     "ServiceBudgetDiscipline",
     "StructuredErrorHandling",
     "SharedMemoryLifecycle",
+    "AsyncBlocking",
+    "AttachedArrayMutation",
+    "PickleBoundary",
+    "FaultSiteConsistency",
 ]
 
 
@@ -887,3 +907,466 @@ class SharedMemoryLifecycle(Checker):
                 ):
                     return True
         return False
+
+
+# ----------------------------------------------------------------------
+# RL010 — async handlers must not block (project phase)
+# ----------------------------------------------------------------------
+@register
+class AsyncBlocking(ProjectChecker):
+    """No ``async def`` in ``service/`` may transitively reach a blocking call.
+
+    The join server is a single event loop; one synchronous file read or
+    ``time.sleep`` on a handler path stalls *every* connection.  The rule
+    walks the whole-program call graph from each async handler and flags
+    the first edge on any path that bottoms out in a blocking API.
+    Arguments of ``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)``
+    are exempt — that is precisely how blocking work is supposed to leave
+    the loop.
+    """
+
+    rule = "RL010"
+    description = (
+        "blocking call transitively reachable from an async service handler"
+    )
+
+    #: exact opaque/resolved targets that block the calling thread
+    BLOCKING_EXACT = frozenset(
+        {
+            "time.sleep",
+            "open",
+            "input",
+        }
+    )
+    #: dotted prefixes whose callables are synchronous by construction
+    BLOCKING_PREFIXES = (
+        "socket.",
+        "subprocess.",
+        "numpy.load",
+        "numpy.save",
+        "numpy.savez",
+        "shutil.",
+        "urllib.request.",
+    )
+    #: attribute tails that block regardless of the (unknown) receiver
+    BLOCKING_TAILS = (
+        ".result",  # concurrent.futures.Future.result
+        ".read_text",
+        ".read_bytes",
+        ".write_text",
+        ".write_bytes",
+    )
+
+    def _blocking(self, edge: CallEdge) -> bool:
+        if edge.resolved:
+            return False  # project functions are judged by their own edges
+        target = edge.target
+        if target in self.BLOCKING_EXACT:
+            return True
+        if target.startswith(self.BLOCKING_PREFIXES):
+            return True
+        return target.endswith(self.BLOCKING_TAILS)
+
+    @staticmethod
+    def _in_service(function: FunctionInfo) -> bool:
+        parts = function.path.split("/")
+        return "service" in parts[:-1] and "tests" not in parts
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        # which sync functions reach a blocking edge (async defs do not
+        # transmit: each one is a seed and reports its own paths)
+        witness = model.reaching(
+            self._blocking, skip_through=lambda fn: fn.is_async
+        )
+        for qualname in sorted(model.functions):
+            function = model.functions[qualname]
+            if not function.is_async or not self._in_service(function):
+                continue
+            entry = f"{function.qualname} [{function.path}]"
+            for edge in function.edges:
+                if self._blocking(edge):
+                    yield Finding(
+                        path=function.path,
+                        line=edge.line,
+                        col=edge.col,
+                        rule=self.rule,
+                        message=(
+                            f"async def {function.name} calls blocking "
+                            f"{edge.target}"
+                        ),
+                        hint="await asyncio.to_thread(...) or "
+                        "loop.run_in_executor(...) for blocking work",
+                        chain=(entry, edge.target),
+                    )
+                elif edge.resolved and edge.target in witness:
+                    _, chain = witness[edge.target]
+                    yield Finding(
+                        path=function.path,
+                        line=edge.line,
+                        col=edge.col,
+                        rule=self.rule,
+                        message=(
+                            f"async def {function.name} reaches blocking "
+                            f"{chain[-1]} via {edge.target}"
+                        ),
+                        hint="await asyncio.to_thread(...) or "
+                        "loop.run_in_executor(...) for blocking work",
+                        chain=(entry, edge.target, *chain),
+                    )
+
+
+# ----------------------------------------------------------------------
+# RL011 — attached shared-memory arrays are read-only (project phase)
+# ----------------------------------------------------------------------
+@register
+class AttachedArrayMutation(ProjectChecker):
+    """Arrays from warm attach points must never be mutated in place.
+
+    Every worker on the machine maps the same physical pages; one
+    ``columns[0] = ...`` corrupts the dataset for all of them, silently.
+    A taint pass seeds at the attach APIs (``SegmentManager.attach``,
+    ``attach_dataset`` / ``attach_instance``), follows assignments,
+    views and call-graph edges, and flags subscript stores, augmented
+    assignments, the in-place ndarray methods (``sort`` / ``resize`` /
+    ``fill`` / …) and ``np.copyto``.  An explicit ``.copy()`` (or
+    ``.tolist()`` / ``np.array``) clears the taint.
+    """
+
+    rule = "RL011"
+    description = "attached warm-plane array flows into in-place mutation"
+
+    ATTACH_QUALNAMES = frozenset(
+        {
+            "repro.warm.segments.SegmentManager.attach",
+            "repro.warm.plane.attach_dataset",
+            "repro.warm.plane.attach_instance",
+        }
+    )
+    ATTACH_TAILS = (".attach", ".attach_dataset", ".attach_instance")
+    ATTACH_NAMES = frozenset({"attach_dataset", "attach_instance"})
+
+    def _source(self, edge: CallEdge) -> bool:
+        if edge.resolved:
+            return edge.target in self.ATTACH_QUALNAMES
+        return (
+            edge.target in self.ATTACH_NAMES
+            or edge.target.endswith(self.ATTACH_TAILS)
+        )
+
+    @staticmethod
+    def _in_scope(function: FunctionInfo) -> bool:
+        parts = function.path.split("/")
+        return "tests" not in parts and not parts[-1].startswith("test_")
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        analysis = TaintAnalysis(model, self._source)
+        for violation in analysis.run(scope=self._in_scope):
+            yield Finding(
+                path=violation.path,
+                line=violation.line,
+                col=violation.col,
+                rule=self.rule,
+                message=violation.description,
+                hint="mutate an explicit .copy() of the attached array; "
+                "shared pages are mapped by every worker",
+                chain=violation.chain,
+            )
+
+
+# ----------------------------------------------------------------------
+# RL012 — only spec-shaped values cross the pickle boundary (project phase)
+# ----------------------------------------------------------------------
+@register
+class PickleBoundary(ProjectChecker):
+    """Payloads shipped to pool workers must come from the spec vocabulary.
+
+    ``ProcessPoolExecutor.submit`` / ``run_specs*`` / ``SolveJob`` all
+    pickle their arguments into another process.  Closures, locks, open
+    sockets/files, ``SharedMemory`` handles and live tree ``Node``s
+    either fail to pickle at dispatch time or — worse — pickle a copy
+    that silently diverges from the original.  Allowed: primitives,
+    containers, and classes in the spec vocabulary (``spec()`` /
+    ``from_spec`` / ``to_dict`` / ``from_dict`` methods, or dataclasses
+    of picklable fields).
+    """
+
+    rule = "RL012"
+    description = "non-spec value crosses the process-pool pickle boundary"
+
+    BOUNDARY_TAILS = (".submit",)
+    BOUNDARY_NAMES = frozenset({"run_specs", "run_specs_supervised", "SolveJob"})
+    SPEC_METHODS = frozenset({"spec", "from_spec", "to_dict", "from_dict"})
+    #: constructions that must never be pickled
+    FORBIDDEN_EXACT = frozenset(
+        {
+            "threading.Lock",
+            "threading.RLock",
+            "threading.Event",
+            "threading.Condition",
+            "threading.Semaphore",
+            "threading.BoundedSemaphore",
+            "socket.socket",
+            "socket.create_connection",
+            "open",
+        }
+    )
+    FORBIDDEN_TAILS = (".SharedMemory",)
+    FORBIDDEN_QUALNAMES = frozenset(
+        {
+            "multiprocessing.shared_memory.SharedMemory",
+            "repro.index.node.Node",
+        }
+    )
+
+    @staticmethod
+    def _in_scope(function: FunctionInfo) -> bool:
+        parts = function.path.split("/")
+        return "tests" not in parts and not parts[-1].startswith("test_")
+
+    def _is_boundary(self, edge: CallEdge) -> bool:
+        if edge.target.rpartition(".")[2] in self.BOUNDARY_NAMES:
+            return True
+        return not edge.resolved and edge.target.endswith(self.BOUNDARY_TAILS)
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for qualname in sorted(model.functions):
+            function = model.functions[qualname]
+            if not self._in_scope(function):
+                continue
+            symbols = model.by_path.get(function.path)
+            if symbols is None:
+                continue
+            local_defs = {
+                child.name
+                for statement in function.node.body
+                for child in ast.walk(statement)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            lambda_names = {
+                target.id
+                for statement in function.node.body
+                for child in ast.walk(statement)
+                if isinstance(child, ast.Assign)
+                and isinstance(child.value, ast.Lambda)
+                for target in child.targets
+                if isinstance(target, ast.Name)
+            }
+            for edge in function.edges:
+                if not self._is_boundary(edge):
+                    continue
+                values = list(edge.call.args) + [
+                    keyword.value for keyword in edge.call.keywords
+                ]
+                for value in values:
+                    yield from self._classify(
+                        model, symbols, function, edge, value,
+                        local_defs, lambda_names,
+                    )
+
+    def _classify(
+        self,
+        model: ProjectModel,
+        symbols: object,
+        function: FunctionInfo,
+        edge: CallEdge,
+        value: ast.expr,
+        local_defs: set[str],
+        lambda_names: set[str],
+    ) -> Iterator[Finding]:
+        boundary = edge.target.rpartition(".")[2]
+        chain = (f"{function.qualname} [{function.path}]", edge.target)
+
+        def flag(node: ast.expr, what: str) -> Finding:
+            return Finding(
+                path=function.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.rule,
+                message=f"{what} passed across the {boundary} pickle boundary",
+                hint="ship a spec (spec()/from_spec, dataclass, or "
+                "primitives); rebuild live state worker-side",
+                chain=chain,
+            )
+
+        if isinstance(value, ast.Lambda):
+            yield flag(value, "a lambda (unpicklable closure)")
+            return
+        if isinstance(value, ast.Name):
+            if value.id in local_defs or value.id in lambda_names:
+                yield flag(value, f"local function {value.id!r} (closure)")
+            return
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            for element in value.elts:
+                yield from self._classify(
+                    model, symbols, function, edge, element,
+                    local_defs, lambda_names,
+                )
+            return
+        if isinstance(value, ast.Dict):
+            for element in list(value.keys) + list(value.values):
+                if element is not None:
+                    yield from self._classify(
+                        model, symbols, function, edge, element,
+                        local_defs, lambda_names,
+                    )
+            return
+        if not isinstance(value, ast.Call):
+            return
+        dotted = _dotted(value.func)
+        if dotted is None:
+            return
+        resolved = model.resolve_name(symbols, dotted)  # type: ignore[arg-type]
+        if (
+            dotted in self.FORBIDDEN_EXACT
+            or resolved in self.FORBIDDEN_EXACT
+            or resolved in self.FORBIDDEN_QUALNAMES
+            or resolved.endswith(self.FORBIDDEN_TAILS)
+        ):
+            yield flag(value, f"live {dotted} handle")
+            return
+        info = model.classes.get(resolved)
+        if info is not None and not self._approved(info):
+            yield flag(
+                value,
+                f"instance of {info.name} (not in the spec vocabulary)",
+            )
+
+    def _approved(self, info: "object") -> bool:
+        methods = getattr(info, "methods", {})
+        if set(methods) & self.SPEC_METHODS:
+            return True
+        return bool(getattr(info, "is_dataclass")())
+
+
+# ----------------------------------------------------------------------
+# RL013 — fault-site consistency (project phase)
+# ----------------------------------------------------------------------
+@register
+class FaultSiteConsistency(ProjectChecker):
+    """Every fault site is declared in ``faults/hooks.py`` — and used.
+
+    Fault plans address injection points by site string; a
+    ``fault_point("typo.site")`` never fires and a declared site with no
+    remaining call site silently turns every plan targeting it into a
+    no-op.  The rule cross-references each ``fault_point(...)`` /
+    ``corruption_at(...)`` first argument (and ``FaultSpec(site=...)``
+    literals) against the ``SITE_*`` constants of ``faults/hooks.py``
+    and reports both directions: undeclared references and dead
+    declarations.
+    """
+
+    rule = "RL013"
+    description = "fault_point sites must match the faults/hooks.py registry"
+
+    HOOKS_SUFFIX = "faults/hooks.py"
+    REFERENCE_CALLS = frozenset({"fault_point", "corruption_at"})
+    SITE_PREFIX = "SITE_"
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        hooks = None
+        for symbols in model.modules.values():
+            if symbols.module.path_endswith(self.HOOKS_SUFFIX):
+                hooks = symbols
+                break
+        if hooks is None:
+            return  # vocabulary not analyzed: nothing to check against
+        declared = {
+            name: value
+            for name, value in hooks.constants.items()
+            if name.startswith(self.SITE_PREFIX)
+        }
+        if not declared:
+            return
+        values = {value for value, _, _ in declared.values()}
+        referenced: set[str] = set()
+        for symbols in model.modules.values():
+            module = symbols.module
+            if module is hooks.module:
+                continue
+            parts = module.path.split("/")
+            if "tests" in parts or parts[-1].startswith("test_"):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func) or ""
+                tail = dotted.rpartition(".")[2]
+                if tail in self.REFERENCE_CALLS and node.args:
+                    yield from self._check_site(
+                        module.path, node.args[0], declared, values, referenced
+                    )
+                elif tail == "FaultSpec":
+                    for keyword in node.keywords:
+                        if keyword.arg == "site":
+                            yield from self._check_site(
+                                module.path, keyword.value,
+                                declared, values, referenced,
+                            )
+        for name in sorted(declared):
+            if name not in referenced:
+                value, line, col = declared[name]
+                yield Finding(
+                    path=hooks.path,
+                    line=line,
+                    col=col,
+                    rule=self.rule,
+                    message=(
+                        f"declared fault site {name} ({value!r}) is never "
+                        f"referenced by any fault_point/corruption_at"
+                    ),
+                    hint="wire the site into its subsystem or delete the "
+                    "declaration; plans targeting it are silent no-ops",
+                )
+
+    def _check_site(
+        self,
+        path: str,
+        node: ast.expr,
+        declared: dict[str, tuple[str, int, int]],
+        values: set[str],
+        referenced: set[str],
+    ) -> Iterator[Finding]:
+        dotted = _dotted(node)
+        if dotted is not None:
+            name = dotted.rpartition(".")[2]
+            if name in declared:
+                referenced.add(name)
+                return
+            yield Finding(
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.rule,
+                message=f"fault site {dotted} is not declared in faults/hooks.py",
+                hint="declare a SITE_* constant in repro/faults/hooks.py "
+                "and reference it",
+            )
+            return
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in values:
+                for name, (value, _, _) in declared.items():
+                    if value == node.value:
+                        referenced.add(name)
+                return
+            yield Finding(
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.rule,
+                message=(
+                    f"fault site {node.value!r} is not declared in "
+                    f"faults/hooks.py"
+                ),
+                hint="declare a SITE_* constant in repro/faults/hooks.py "
+                "and reference it",
+            )
+            return
+        yield Finding(
+            path=path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule=self.rule,
+            message="fault site must be a SITE_* constant, not a computed value",
+            hint="fault plans address sites by exact string; computed names "
+            "can never be validated against the registry",
+        )

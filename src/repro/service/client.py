@@ -240,19 +240,43 @@ class JoinClient:
 
 
 class AsyncJoinClient:
-    """The same client surface over asyncio streams."""
+    """The same client surface over asyncio streams.
 
-    def __init__(self) -> None:
+    Retries mirror :class:`JoinClient` — the same :class:`RetryPolicy`
+    schedule — but every delay is an ``await asyncio.sleep(...)``: a
+    backoff must suspend the coroutine, never stall the event loop
+    (RL010 guards exactly this in ``service/``).
+    """
+
+    def __init__(self, retry: RetryPolicy | None = None) -> None:
         self._ids = _RequestIds("areq")
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._close_state: dict[str, Any] | None = None
+        self._host = "127.0.0.1"
+        self._port = 0
+        self.retry = retry
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncJoinClient":
-        client = cls()
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry: RetryPolicy | None = None,
+    ) -> "AsyncJoinClient":
+        client = cls(retry=retry)
+        client._host = host
+        client._port = port
         client._reader, client._writer = await asyncio.open_connection(host, port)
         return client
+
+    async def reconnect(self) -> None:
+        """Drop the current stream (if any) and dial the server again."""
+        await self.close()
+        self._close_state = None
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
 
     async def request(self, record: Mapping[str, Any]) -> dict[str, Any]:
         assert self._reader is not None and self._writer is not None
@@ -315,6 +339,44 @@ class AsyncJoinClient:
         return await self._op("shutdown")
 
     async def solve(self, *, check: bool = True, **fields: Any) -> dict[str, Any]:
-        record = solve_request(self._ids.take(), **fields)
-        response = await self.request(record)
+        """Issue one solve request (see :meth:`JoinClient.solve`).
+
+        With a :class:`RetryPolicy` installed, retryable errors and
+        dropped connections re-send on the policy's backoff schedule —
+        awaited via ``asyncio.sleep``, so other coroutines keep running.
+        """
+        if self.retry is None:
+            record = solve_request(self._ids.take(), **fields)
+            response = await self.request(record)
+            return _raise_for_status(response) if check else response
+        response = await self._solve_with_retry(self.retry, fields)
         return _raise_for_status(response) if check else response
+
+    async def _solve_with_retry(
+        self, policy: RetryPolicy, fields: dict[str, Any]
+    ) -> dict[str, Any]:
+        delays = policy.delays()
+        last_error: ConnectionError | None = None
+        last_response: dict[str, Any] | None = None
+        for attempt in range(policy.attempts):
+            if attempt > 0:
+                await asyncio.sleep(delays[attempt - 1])
+            record = solve_request(self._ids.take(), **fields)
+            try:
+                if last_error is not None:
+                    await self.reconnect()
+                    last_error = None
+                response = await self.request(record)
+            except ConnectionError as error:
+                last_error = error
+                continue
+            if response.get("status") == "ok":
+                return response
+            error_payload = response.get("error", {})
+            if not error_payload.get("retryable"):
+                return response
+            last_response = response
+        if last_response is not None:
+            return last_response
+        assert last_error is not None
+        raise last_error

@@ -214,10 +214,14 @@ class JoinServer:
 
     async def start(self) -> None:
         """Warm the registry, spin up the pool, and start listening."""
-        self.registry.warm()
+        # registry warming and pool construction read datasets off disk;
+        # keep that I/O off the event loop even during startup
+        await asyncio.to_thread(self.registry.warm)
         if self._executor is None:
             if self.executor_kind == "process":
-                self._executor = self._build_process_executor()
+                self._executor = await asyncio.to_thread(
+                    self._build_process_executor
+                )
             else:
                 self._worker_names = None
                 self._executor = ThreadPoolExecutor(max_workers=self.workers)
@@ -442,7 +446,10 @@ class JoinServer:
         instance_name = record.get("instance")
         try:
             if instance_name is not None:
-                instance = self.registry.instance(instance_name)
+                # a cold registry entry loads from disk: off the loop
+                instance = await asyncio.to_thread(
+                    self.registry.instance, instance_name
+                )
                 query = instance.query
                 labels = [
                     f"{instance_name}/{index}"
@@ -537,7 +544,9 @@ class JoinServer:
             while True:
                 executor_used = self._executor
                 try:
-                    job = self._build_job(
+                    # inline payloads may load datasets from disk
+                    job = await asyncio.to_thread(
+                        self._build_job,
                         record,
                         instance_name,
                         dataset_names,
@@ -563,7 +572,8 @@ class JoinServer:
                             request_id, "solve", classified.code, classified.message
                         )
                     obs.counter("faults.crashes").inc()
-                    self._recover_executor(executor_used)
+                    # pool rebuild republishes warm segments (file/shm I/O)
+                    await asyncio.to_thread(self._recover_executor, executor_used)
                     attempt += 1
                     if ticket.expired() or attempt > MAX_JOB_RETRIES:
                         # the deadline (or the retry bound) can no longer be

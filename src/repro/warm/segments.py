@@ -159,8 +159,10 @@ class SegmentManager:
             self._open[spec.name] = segment
         segment.refs += 1
         view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.shm.buf)
-        if not segment.owner:
-            view.flags.writeable = False
+        # every attached view is read-only — the owner's included: writes
+        # belong in publish(); one in-place store through an attach would
+        # corrupt the dataset for every worker mapping these pages (RL011)
+        view.flags.writeable = False
         return view
 
     # ------------------------------------------------------------------

@@ -366,6 +366,84 @@ class TestRetryPolicy:
             RetryPolicy(base=-0.1)
 
 
+class TestRetrySleepDiscipline:
+    """Regression pins for where the retry backoff sleeps.
+
+    The sync client owns its thread and may block it with ``time.sleep``;
+    the async client shares an event loop and must ``await
+    asyncio.sleep`` instead — one blocking sleep there stalls every
+    connection the loop serves.  Pinned behaviourally (recorded sleeps)
+    and statically (rule RL010 on the real source).
+    """
+
+    RESPONSES = (
+        {"status": "error", "error": {"code": "overloaded", "retryable": True}},
+        {"status": "ok", "result": {}},
+    )
+
+    def test_sync_retry_backs_off_with_time_sleep(self, monkeypatch):
+        from repro.service import client as client_module
+
+        policy = RetryPolicy(attempts=3, seed=1)
+        recorded: list[float] = []
+        monkeypatch.setattr(client_module.time, "sleep", recorded.append)
+        client = JoinClient.__new__(JoinClient)
+        client._ids = client_module._RequestIds("t")
+        client.retry = policy
+        responses = iter(self.RESPONSES)
+        client.request = lambda record: next(responses)  # type: ignore[method-assign]
+        client.reconnect = lambda: None  # type: ignore[method-assign]
+        response = client.solve(instance="demo")
+        assert response["status"] == "ok"
+        # exactly one retry happened, on the policy's schedule
+        assert recorded == policy.delays()[:1]
+
+    def test_async_retry_awaits_asyncio_sleep_never_blocks(self, monkeypatch):
+        from repro.service import client as client_module
+
+        policy = RetryPolicy(attempts=3, seed=1)
+        recorded: list[float] = []
+
+        async def fake_sleep(delay: float) -> None:
+            recorded.append(delay)
+
+        def blocked(_delay: float) -> None:
+            raise AssertionError("async retry path must not block the thread")
+
+        monkeypatch.setattr(client_module.asyncio, "sleep", fake_sleep)
+        monkeypatch.setattr(client_module.time, "sleep", blocked)
+        client = AsyncJoinClient(retry=policy)
+        responses = iter(self.RESPONSES)
+
+        async def request(record):
+            return next(responses)
+
+        async def reconnect():
+            raise AssertionError("no connection was dropped")
+
+        client.request = request  # type: ignore[method-assign]
+        client.reconnect = reconnect  # type: ignore[method-assign]
+        response = asyncio.run(client.solve(instance="demo"))
+        assert response["status"] == "ok"
+        assert recorded == policy.delays()[:1]
+
+    def test_rl010_pins_the_async_sleep(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_source
+
+        path = "src/repro/service/client.py"
+        source = (Path(__file__).resolve().parent.parent / path).read_text()
+        assert not lint_source(source, path=path, select=["RL010"])
+        sabotaged = source.replace(
+            "await asyncio.sleep(delays[attempt - 1])",
+            "time.sleep(delays[attempt - 1])",
+        )
+        assert sabotaged != source, "retry loop no longer matches expected shape"
+        findings = lint_source(sabotaged, path=path, select=["RL010"])
+        assert {finding.rule for finding in findings} == {"RL010"}
+
+
 # ----------------------------------------------------------------------
 # live servers under chaos
 # ----------------------------------------------------------------------

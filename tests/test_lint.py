@@ -1,9 +1,13 @@
-"""Fixture tests for the repro-lint checker suite (rules RL001–RL009).
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL013).
 
 Each rule gets one known-good and one known-bad snippet; the suite also
 covers suppressions, the JSON report round-trip, the CLI exit contract,
 and — the acceptance check — that the real tree is clean *and* that
-deliberately breaking a ``Node`` invariant is caught.
+deliberately breaking an invariant (a ``Node`` cache, a ``to_thread``
+wrapper, a read-only attach, a pickle boundary, a fault-site constant)
+is caught.  The cross-module rules RL010–RL013 run in the project phase:
+single-file fixtures go through ``lint_source`` as usual, multi-module
+fixtures through ``project_lint`` (a temporary tree + ``analyze_paths``).
 """
 
 from __future__ import annotations
@@ -38,11 +42,27 @@ def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
     return lint_source(source, path=path, **kwargs)
 
 
-def test_all_nine_rules_registered():
+def test_all_thirteen_rules_registered():
     assert set(all_checkers()) >= {
         "RL001", "RL002", "RL003", "RL004", "RL005",
         "RL006", "RL007", "RL008", "RL009",
+        "RL010", "RL011", "RL012", "RL013",
     }
+
+
+def project_lint(
+    tmp_path: Path, files: dict[str, str], select: list[str] | None = None
+) -> list[Finding]:
+    """Materialise ``files`` under ``tmp_path`` and lint the whole tree.
+
+    The multi-module counterpart of :func:`lint` — cross-module rules
+    need more than one file to resolve imports and call edges.
+    """
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return analyze_paths([tmp_path], root=tmp_path, select=select)
 
 
 # ----------------------------------------------------------------------
@@ -705,9 +725,15 @@ def test_unknown_rule_rejected():
 
 
 def test_repo_tree_is_clean():
-    """The acceptance gate: repro-lint src tests exits clean."""
+    """The acceptance gate: repro-lint src tests benchmarks examples."""
     findings = analyze_paths(
-        [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
+        [
+            REPO_ROOT / "src",
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ],
+        root=REPO_ROOT,
     )
     assert findings == [], render_text(findings)
 
@@ -772,3 +798,368 @@ def test_cli_select_and_disable(tmp_path, capsys):
         lint_main([str(dirty), "--root", str(tmp_path), "--select", "RL001"]) == 0
     )
     capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# RL010 — no blocking calls on async service paths (project phase)
+# ----------------------------------------------------------------------
+SERVICE_PATH = "src/repro/service/handler.py"
+
+RL010_GOOD = """
+import asyncio
+
+async def handler(loop, pool):
+    await asyncio.sleep(0.1)
+    await loop.run_in_executor(pool, load)
+    return await asyncio.to_thread(load)
+
+def load():
+    return open("data")  # only ever reached through an executor
+"""
+
+RL010_BAD = """
+import time
+
+async def handler(job):
+    time.sleep(0.05)
+    data = job.future.result()
+    return load(data)
+
+def load(path):
+    return open(path)
+"""
+
+
+def test_rl010_good():
+    assert not lint(RL010_GOOD, path=SERVICE_PATH, select=["RL010"])
+
+
+def test_rl010_bad():
+    findings = lint(RL010_BAD, path=SERVICE_PATH, select=["RL010"])
+    assert rules_of(findings) == {"RL010"}
+    # the direct sleep, the Future.result, and the transitive open()
+    assert len(findings) == 3
+    transitive = [f for f in findings if "open" in f.message]
+    assert len(transitive) == 1
+    assert transitive[0].chain[-1] == "open"
+    assert transitive[0].chain[0].startswith("repro.service.handler.handler ")
+
+
+def test_rl010_only_applies_to_service_async_defs():
+    # same blocking body outside service/ (or in a sync def) is fine
+    assert not lint(RL010_BAD, path="src/repro/core/search.py", select=["RL010"])
+    sync_version = RL010_BAD.replace("async def", "def")
+    assert not lint(sync_version, path=SERVICE_PATH, select=["RL010"])
+
+
+def test_rl010_sabotage_reverting_to_thread_fix(tmp_path):
+    """Re-inlining registry.warm() into async start() must trip RL010."""
+    server = (REPO_ROOT / "src/repro/service/server.py").read_text()
+    sabotaged = server.replace(
+        "await asyncio.to_thread(self.registry.warm)",
+        "self.registry.warm()",
+    )
+    assert sabotaged != server, "server.start no longer matches expected shape"
+    files = {
+        "src/repro/service/server.py": sabotaged,
+        "src/repro/service/registry.py": (
+            REPO_ROOT / "src/repro/service/registry.py"
+        ).read_text(),
+        "src/repro/data/io.py": (REPO_ROOT / "src/repro/data/io.py").read_text(),
+    }
+    baseline = dict(files)
+    baseline["src/repro/service/server.py"] = server
+    assert not project_lint(tmp_path / "clean", baseline, select=["RL010"])
+    findings = project_lint(tmp_path / "dirty", files, select=["RL010"])
+    assert rules_of(findings) == {"RL010"}
+    assert any("warm" in finding.message for finding in findings)
+
+
+# ----------------------------------------------------------------------
+# RL011 — attached warm-plane arrays are immutable (project phase)
+# ----------------------------------------------------------------------
+WARM_PATH = "src/repro/warm/consumer.py"
+
+RL011_GOOD = """
+def snapshot(manager, spec):
+    table = manager.attach(spec)
+    local = table.copy()
+    local[0] = 0.0
+    return local
+"""
+
+RL011_BAD = """
+def corrupt(manager, spec):
+    table = manager.attach(spec)
+    table[0, 0] = -1.0
+"""
+
+
+def test_rl011_good():
+    assert not lint(RL011_GOOD, path=WARM_PATH, select=["RL011"])
+
+
+def test_rl011_bad():
+    findings = lint(RL011_BAD, path=WARM_PATH, select=["RL011"])
+    assert rules_of(findings) == {"RL011"}
+    assert len(findings) == 1
+
+
+def test_rl011_interprocedural_chain():
+    source = (
+        "def clobber(arr):\n"
+        "    arr.fill(0.0)\n"
+        "\n"
+        "def use(manager, spec):\n"
+        "    view = manager.attach(spec)\n"
+        "    clobber(view)\n"
+    )
+    (finding,) = lint(source, path=WARM_PATH, select=["RL011"])
+    assert finding.chain == ("repro.warm.consumer.use", "repro.warm.consumer.clobber")
+
+
+def test_rl011_sabotage_mutating_attach_dataset():
+    """An in-place store on the freshly attached table must trip RL011."""
+    plane = (REPO_ROOT / "src/repro/warm/plane.py").read_text()
+    sabotaged = plane.replace(
+        "        table = active.attach(spec.columns)\n",
+        "        table = active.attach(spec.columns)\n"
+        "        table[0, 0] = 0.0\n",
+    )
+    assert sabotaged != plane, "attach_dataset no longer matches expected shape"
+    findings = lint_source(sabotaged, path="src/repro/warm/plane.py", select=["RL011"])
+    assert rules_of(findings) == {"RL011"}
+
+
+# ----------------------------------------------------------------------
+# RL012 — only spec-vocabulary values cross the pickle boundary
+# ----------------------------------------------------------------------
+RL012_GOOD = """
+from dataclasses import dataclass
+
+@dataclass
+class Task:
+    seed: int
+
+def run_task(task):
+    return task.seed
+
+def dispatch(pool, seed):
+    return pool.submit(run_task, Task(seed))
+"""
+
+RL012_BAD = """
+import threading
+
+class Live:
+    pass
+
+def dispatch(pool, items):
+    return pool.submit(lambda: items, threading.Lock(), Live())
+"""
+
+
+def test_rl012_good():
+    assert not lint(RL012_GOOD, select=["RL012"])
+
+
+def test_rl012_bad():
+    findings = lint(RL012_BAD, select=["RL012"])
+    assert rules_of(findings) == {"RL012"}
+    messages = " | ".join(finding.message for finding in findings)
+    assert "lambda" in messages
+    assert "threading.Lock" in messages
+    assert "Live" in messages
+    assert len(findings) == 3
+
+
+def test_rl012_local_closure_and_containers():
+    source = (
+        "def dispatch(pool, items):\n"
+        "    def job():\n"
+        "        return items\n"
+        "    return pool.submit(run, [job, 42])\n"
+    )
+    (finding,) = lint(source, select=["RL012"])
+    assert "closure" in finding.message
+
+
+def test_rl012_sabotage_lambda_in_member_dispatch():
+    """A lambda in the parallel member dispatch must trip RL012."""
+    parallel = (REPO_ROOT / "src/repro/core/parallel.py").read_text()
+    sabotaged = parallel.replace(
+        "pool.submit(\n                        _run_member_in_worker,",
+        "pool.submit(\n                        lambda task: None,",
+    )
+    assert sabotaged != parallel, "dispatch no longer matches expected shape"
+    assert not lint_source(
+        parallel, path="src/repro/core/parallel.py", select=["RL012"]
+    )
+    findings = lint_source(
+        sabotaged, path="src/repro/core/parallel.py", select=["RL012"]
+    )
+    assert rules_of(findings) == {"RL012"}
+
+
+# ----------------------------------------------------------------------
+# RL013 — fault-site consistency (project phase)
+# ----------------------------------------------------------------------
+RL013_HOOKS = """
+SITE_ALPHA = "alpha.start"
+SITE_BETA = "beta.stop"
+
+def fault_point(site, **context):
+    return False
+"""
+
+RL013_GOOD_CONSUMER = """
+from repro.faults.hooks import SITE_ALPHA, fault_point
+
+def run():
+    fault_point(SITE_ALPHA)
+    fault_point("beta.stop")
+"""
+
+RL013_BAD_CONSUMER = """
+from repro.faults.hooks import SITE_ALPHA, fault_point
+
+def run(name):
+    fault_point(SITE_ALPHA)
+    fault_point("gamma.boom")
+    fault_point("fault." + name)
+"""
+
+
+def test_rl013_good(tmp_path):
+    findings = project_lint(
+        tmp_path,
+        {
+            "src/repro/faults/hooks.py": RL013_HOOKS,
+            "src/repro/faults/consumer.py": RL013_GOOD_CONSUMER,
+        },
+        select=["RL013"],
+    )
+    assert findings == [], render_text(findings)
+
+
+def test_rl013_bad(tmp_path):
+    findings = project_lint(
+        tmp_path,
+        {
+            "src/repro/faults/hooks.py": RL013_HOOKS,
+            "src/repro/faults/consumer.py": RL013_BAD_CONSUMER,
+        },
+        select=["RL013"],
+    )
+    assert rules_of(findings) == {"RL013"}
+    messages = " | ".join(finding.message for finding in findings)
+    assert "'gamma.boom'" in messages            # undeclared literal
+    assert "computed value" in messages          # concatenated site name
+    assert "SITE_BETA" in messages               # dead declaration
+    dead = [f for f in findings if "SITE_BETA" in f.message]
+    assert dead[0].path.endswith("faults/hooks.py")
+    assert len(findings) == 3
+
+
+def test_rl013_skips_when_hooks_module_absent():
+    # a lone module referencing sites cannot be validated: stay silent
+    assert not lint(
+        RL013_BAD_CONSUMER, path="src/repro/faults/consumer.py", select=["RL013"]
+    )
+
+
+def test_rl013_sabotage_undeclared_site_literal(tmp_path):
+    """Replacing a SITE_* constant with a typo literal must trip RL013."""
+    worker = (REPO_ROOT / "src/repro/service/worker.py").read_text()
+    sabotaged = worker.replace(
+        "fault_point(SITE_SERVICE_JOB,", 'fault_point("service.jobz",'
+    )
+    assert sabotaged != worker, "worker no longer matches expected shape"
+    files = {
+        "src/repro/faults/hooks.py": (
+            REPO_ROOT / "src/repro/faults/hooks.py"
+        ).read_text(),
+        "src/repro/service/worker.py": sabotaged,
+        "src/repro/core/parallel.py": (
+            REPO_ROOT / "src/repro/core/parallel.py"
+        ).read_text(),
+    }
+    baseline = dict(files)
+    baseline["src/repro/service/worker.py"] = worker
+    assert not project_lint(tmp_path / "clean", baseline, select=["RL013"])
+    findings = project_lint(tmp_path / "dirty", files, select=["RL013"])
+    assert rules_of(findings) == {"RL013"}
+    messages = " | ".join(finding.message for finding in findings)
+    assert "'service.jobz'" in messages          # the typo reference
+    assert "SITE_SERVICE_JOB" in messages        # the now-dead declaration
+
+
+# ----------------------------------------------------------------------
+# suppression edge cases (project findings + directives)
+# ----------------------------------------------------------------------
+def test_one_directive_disables_multiple_rules():
+    source = (
+        "import time, random\n"
+        "def f():\n"
+        "    return time.time() + random.random()"
+        "  # repro-lint: disable=RL001,RL002\n"
+    )
+    assert not lint(source, select=["RL001", "RL002"])
+
+
+def test_disable_file_after_imports_still_covers_whole_file():
+    source = (
+        "import time\n"
+        "NOW = time.time()\n"
+        "\n"
+        "# repro-lint: disable-file=RL002\n"
+    )
+    assert not lint(source, select=["RL002"])
+
+
+def test_project_finding_suppressed_at_anchor_line():
+    source = RL010_BAD.replace(
+        "    time.sleep(0.05)",
+        "    time.sleep(0.05)  # repro-lint: disable=RL010",
+    )
+    findings = lint(source, path=SERVICE_PATH, select=["RL010"])
+    # the other two findings survive; only the anchored one is dropped
+    assert len(findings) == 2
+    assert all("sleep" not in finding.message for finding in findings)
+
+
+def test_project_finding_chain_round_trips_through_json():
+    findings = lint(RL010_BAD, path=SERVICE_PATH, select=["RL010"])
+    assert any(finding.chain for finding in findings)
+    restored = findings_from_json(render_json(findings))
+    assert restored == findings
+    for finding in restored:
+        assert isinstance(finding.chain, tuple)
+
+
+# ----------------------------------------------------------------------
+# --stats
+# ----------------------------------------------------------------------
+def test_cli_stats_reports_findings_and_suppressions(tmp_path, capsys):
+    dirty = tmp_path / "src" / "repro" / "core" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text(
+        "import time\n"
+        "NOW = time.time()\n"
+        "LATER = time.time()  # repro-lint: disable=RL002\n"
+    )
+    assert lint_main([str(dirty), "--root", str(tmp_path), "--stats"]) == 1
+    captured = capsys.readouterr()
+    assert "RL002" in captured.out
+    assert "repro-lint stats: 1 file(s) analyzed" in captured.err
+    row = next(
+        line for line in captured.err.splitlines() if line.strip().startswith("RL002")
+    )
+    assert row.split() == ["RL002", "1", "1"]
+
+
+def test_cli_stats_clean_tree(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean), "--root", str(tmp_path), "--stats"]) == 0
+    assert "no findings, no suppressions" in capsys.readouterr().err

@@ -241,6 +241,49 @@ class TestWarmPlane:
         finally:
             plane.shutdown()
 
+    def test_every_attached_array_is_read_only(self, instance):
+        """All five per-dataset views — columns plus the four packed-tree
+        arrays — come back frozen, and in-place writes raise instead of
+        silently corrupting the pages every worker maps (rule RL011)."""
+        dataset = instance.datasets[1]
+        plane = WarmPlane()
+        manager = SegmentManager()
+        try:
+            spec = plane.publish("d1", dataset)
+            for member in (
+                spec.columns,
+                spec.tree_bounds,
+                spec.tree_children,
+                spec.tree_offsets,
+                spec.tree_levels,
+            ):
+                view = manager.attach(member)
+                assert view.flags.writeable is False, member.name
+                with pytest.raises(ValueError, match="read-only"):
+                    view[(0,) * view.ndim] = 0
+                manager.release(member.name)
+        finally:
+            manager.shutdown()
+            report = plane.shutdown()
+        assert report["leaked"] == []
+
+    def test_owner_side_attach_is_read_only(self):
+        """The publishing process gets no writable backdoor: attaching a
+        segment you own still hands back a frozen view (writes belong in
+        publish(), before the spec is shared)."""
+        manager = SegmentManager()
+        try:
+            spec = manager.publish(np.arange(6, dtype=np.float64))
+            view = manager.attach(spec)
+            assert view.flags.writeable is False
+            with pytest.raises(ValueError, match="read-only"):
+                view += 1.0
+            with pytest.raises(ValueError, match="read-only"):
+                view.fill(0.0)
+            manager.release(spec.name)
+        finally:
+            manager.shutdown()
+
     def test_pool_rebuild_reattaches_not_republishes(self, instance):
         """An injected worker crash forces a pool rebuild; the rebuilt pool
         re-attaches to the existing segments (publish count pinned) and the
