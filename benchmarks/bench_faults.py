@@ -13,7 +13,7 @@ production run.  This bench measures:
   dispatch site per member plus one incumbent publication per milestone).
 
 The acceptance gate: disabled hooks stay under 2% of solve time.
-Results land in ``BENCH_faults.json``.
+Results land in the perf ledger (plus the legacy ``BENCH_faults.json``).
 """
 
 from __future__ import annotations
@@ -25,7 +25,8 @@ import pytest
 from conftest import record_table, scaled_int
 
 from repro import Budget, QueryGraph, hard_instance
-from repro.bench import format_table, write_json
+from repro.bench import format_table
+from repro.bench.ledger import emit_sections, timer_stats
 from repro.core.parallel import parallel_restarts
 from repro.faults import SITE_MEMBER_PROGRESS, checkpoint_incumbent, fault_point
 
@@ -48,34 +49,46 @@ def _flush_results():
             precision=6,
         )
     )
-    write_json(_JSON_PATH, {"sections": _RESULTS})
+    emit_sections("faults", _RESULTS, legacy_path=_JSON_PATH)
 
 
-def _record(section: str, value: float, unit: str) -> None:
-    _RESULTS.append({"section": section, "value": value, "unit": unit})
+def _record(
+    section: str, value: float, unit: str, better: str | None = None,
+    timer: dict | None = None,
+) -> None:
+    _RESULTS.append({
+        "section": section, "value": value, "unit": unit, "better": better,
+        "timer": timer,
+    })
 
 
-def _per_call_seconds(callable_, calls: int, repeats: int = 5) -> float:
-    best = float("inf")
+def _per_call_seconds(callable_, calls: int, repeats: int = 5) -> list[float]:
+    samples = []
     for _ in range(repeats):
         started = time.perf_counter()
         for _ in range(calls):
             callable_()
-        best = min(best, time.perf_counter() - started)
-    return best / calls
+        samples.append((time.perf_counter() - started) / calls)
+    return samples
 
 
 def test_disabled_hook_overhead():
     calls = scaled_int(100_000, minimum=10_000)
 
-    fault_point_s = _per_call_seconds(
+    fault_point_samples = _per_call_seconds(
         lambda: fault_point(SITE_MEMBER_PROGRESS, index=0, attempt=0, hit=0), calls
     )
-    checkpoint_s = _per_call_seconds(
+    checkpoint_samples = _per_call_seconds(
         lambda: checkpoint_incumbent((1, 2, 3), 4, 0.5, 0.01, 100), calls
     )
-    _record("fault_point_disabled", fault_point_s * 1e9, "ns/call")
-    _record("checkpoint_disabled", checkpoint_s * 1e9, "ns/call")
+    fault_point_s = min(fault_point_samples)
+    checkpoint_s = min(checkpoint_samples)
+    _record("fault_point_disabled", fault_point_s * 1e9, "ns/call",
+            better="lower",
+            timer=timer_stats([x * 1e9 for x in fault_point_samples]))
+    _record("checkpoint_disabled", checkpoint_s * 1e9, "ns/call",
+            better="lower",
+            timer=timer_stats([x * 1e9 for x in checkpoint_samples]))
 
     iterations = scaled_int(2_000)
     cardinality = scaled_int(300, minimum=60)
@@ -83,6 +96,7 @@ def test_disabled_hook_overhead():
 
     best_solve = float("inf")
     milestones = 0
+    solve_samples = []
     for _ in range(3):
         started = time.perf_counter()
         result = parallel_restarts(
@@ -90,15 +104,18 @@ def test_disabled_hook_overhead():
             restarts=2, workers=1,
         )
         elapsed = time.perf_counter() - started
+        solve_samples.append(elapsed)
         if elapsed < best_solve:
             best_solve = elapsed
             milestones = result.milestones
-    _record("warm_solve", best_solve, "s")
+    _record("warm_solve", best_solve, "s", better="lower",
+            timer=timer_stats(solve_samples))
 
     # hooks the solve actually executed: one dispatch fault_point per member
     # plus one checkpoint publication per incumbent improvement
     hook_seconds = 2 * fault_point_s + max(1, milestones) * checkpoint_s
     overhead_pct = 100.0 * hook_seconds / best_solve
+    # a ratio of two tiny numbers: tracked in the trajectory, not gated
     _record("disabled_overhead", overhead_pct, "%")
     assert overhead_pct < 2.0, (
         f"disabled fault hooks cost {overhead_pct:.3f}% of a warm solve "

@@ -12,6 +12,7 @@ lower for cliques; SEA ≥ ILS ≥ GILS on most cells.
 from conftest import record_table, scaled, scaled_int
 
 from repro.bench import Fig10aConfig, format_table, run_fig10a
+from repro.bench.ledger import emit_sections
 
 
 def test_fig10a(benchmark):
@@ -34,6 +35,22 @@ def test_fig10a(benchmark):
         [[r["query"], r["n"], r["density"], r["time_limit"]]
          + [r[a] for a in algorithms] for r in rows],
     ))
+
+    emit_sections("fig10a", [
+        {
+            "section": f"{row['query']}/n={row['n']}/{algorithm}",
+            "value": row[algorithm],
+            "unit": "similarity",
+            "better": None,  # approximation quality: tracked, never gated
+            "meta": {
+                "query": row["query"], "n": row["n"],
+                "density": row["density"], "time_limit": row["time_limit"],
+                "node_reads": row[f"{algorithm} node_reads"],
+            },
+        }
+        for row in rows
+        for algorithm in algorithms
+    ])
 
     for row in rows:
         for algorithm in algorithms:

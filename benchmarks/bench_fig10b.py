@@ -10,6 +10,7 @@ the end of the budget.
 from conftest import record_table, scaled, scaled_int
 
 from repro.bench import Fig10bConfig, format_series, run_fig10b
+from repro.bench.ledger import emit_sections
 
 
 def test_fig10b(benchmark):
@@ -24,6 +25,22 @@ def test_fig10b(benchmark):
         seed=0,
     )
     output = benchmark.pedantic(run_fig10b, args=(config,), rounds=1, iterations=1)
+
+    emit_sections("fig10b", [
+        {
+            "section": f"{query_type}/{name}",
+            "value": series[-1],
+            "unit": "similarity",
+            "better": None,  # staircase endpoint: tracked, never gated
+            "meta": {
+                "query": query_type,
+                "grid": [round(t, 4) for t in data["grid"]],
+                "series": series,
+            },
+        }
+        for query_type, data in output.items()
+        for name, series in data["series"].items()
+    ])
 
     for query_type, data in output.items():
         record_table(format_series(

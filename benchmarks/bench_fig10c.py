@@ -12,6 +12,7 @@ effectiveness").
 from conftest import record_table, scaled, scaled_int
 
 from repro.bench import Fig10cConfig, format_table, run_fig10c
+from repro.bench.ledger import emit_sections
 
 
 def test_fig10c(benchmark):
@@ -35,6 +36,18 @@ def test_fig10c(benchmark):
         [[f"{r['Sol']:g}", r["density"]] + [r[a] for a in algorithms]
          for r in rows],
     ))
+
+    emit_sections("fig10c", [
+        {
+            "section": f"Sol={row['Sol']:g}/{algorithm}",
+            "value": row[algorithm],
+            "unit": "similarity",
+            "better": None,  # approximation quality: tracked, never gated
+            "meta": {"Sol": row["Sol"], "density": row["density"]},
+        }
+        for row in rows
+        for algorithm in algorithms
+    ])
 
     # density must grow monotonically with the solution target
     densities = [r["density"] for r in rows]

@@ -14,6 +14,7 @@ keeps it feasible and the *ratio* is what to look at.
 from conftest import record_table, scaled, scaled_int
 
 from repro.bench import Fig11Config, format_table, run_fig11
+from repro.bench.ledger import emit_sections
 
 
 def test_fig11(benchmark):
@@ -37,6 +38,19 @@ def test_fig11(benchmark):
         columns,
         [[r[c] for c in columns] for r in rows],
     ))
+
+    emit_sections("fig11", [
+        {
+            "section": f"n={row['n']}/{label}",
+            "value": row[label],
+            "unit": "s",
+            # systematic-search blow-up is chaotic by nature: tracked only
+            "better": None,
+            "meta": {"n": row["n"], "exact": row[f"{label} exact"]},
+        }
+        for row in rows
+        for label in ("IBB", "ILS+IBB", "SEA+IBB")
+    ])
 
     for row in rows:
         # the two-step methods must always find the planted solution; plain

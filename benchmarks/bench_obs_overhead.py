@@ -12,7 +12,7 @@ measures exactly that on the two instrumented hot spots:
 
 Each hot spot is timed with observation disabled (the shipped default) and
 enabled (``observe(Observation())`` with a :class:`MemorySink`), and the
-results land in ``BENCH_obs.json``.  The assertion is deliberately lenient
+results land in the perf ledger (plus the legacy ``BENCH_obs.json``).  The assertion is deliberately lenient
 (interpreter noise on a loaded CI box dwarfs the effect being measured);
 the JSON history is the real regression tripwire.
 """
@@ -27,7 +27,8 @@ import pytest
 from conftest import record_table, scaled_int
 
 from repro import Budget, QueryGraph, hard_instance
-from repro.bench import format_table, write_json
+from repro.bench import format_table
+from repro.bench.ledger import emit_sections, timer_stats
 from repro.core import GILSConfig, guided_indexed_local_search
 from repro.core.best_value import find_best_value
 from repro.core.evaluator import QueryEvaluator
@@ -38,16 +39,19 @@ _RESULTS: list[dict] = []
 _JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
 
 
-def _time(callable_, repeats: int = 5) -> float:
-    best = float("inf")
+def _time(callable_, repeats: int = 5) -> list[float]:
+    samples = []
     for _ in range(repeats):
         started = time.perf_counter()
         callable_()
-        best = min(best, time.perf_counter() - started)
-    return best
+        samples.append(time.perf_counter() - started)
+    return samples
 
 
-def _record(section: str, disabled_s: float, enabled_s: float) -> None:
+def _record(
+    section: str, disabled_samples: list[float], enabled_samples: list[float]
+) -> None:
+    disabled_s, enabled_s = min(disabled_samples), min(enabled_samples)
     overhead = (enabled_s / disabled_s - 1.0) if disabled_s > 0 else 0.0
     _RESULTS.append(
         {
@@ -55,6 +59,7 @@ def _record(section: str, disabled_s: float, enabled_s: float) -> None:
             "disabled_s": disabled_s,
             "enabled_s": enabled_s,
             "overhead_pct": round(100.0 * overhead, 2),
+            "timer": timer_stats(disabled_samples),
         }
     )
 
@@ -74,7 +79,25 @@ def _flush_results():
         rows,
         precision=5,
     ))
-    write_json(_JSON_PATH, {"sections": _RESULTS})
+    sections = []
+    for r in _RESULTS:
+        # absolute timings gate same-machine; the overhead percentage is
+        # a small ratio of two noisy numbers — tracked, never gated
+        sections.append({
+            "section": f"{r['section']}/disabled",
+            "value": r["disabled_s"], "unit": "s", "better": "lower",
+            "timer": r["timer"],
+        })
+        sections.append({
+            "section": f"{r['section']}/enabled",
+            "value": r["enabled_s"], "unit": "s", "better": "lower",
+        })
+        sections.append({
+            "section": f"{r['section']}/overhead",
+            "value": r["overhead_pct"], "unit": "%", "better": None,
+        })
+    emit_sections("obs_overhead", sections, legacy_path=_JSON_PATH,
+                  legacy_payload={"sections": _RESULTS})
 
 
 def test_best_value_overhead_when_disabled():
@@ -101,7 +124,7 @@ def test_best_value_overhead_when_disabled():
         enabled = _time(run)
     _record("find_best_value", disabled, enabled)
     # generous bound: the target is <2%, but CI noise alone exceeds that
-    assert enabled < disabled * 1.5
+    assert min(enabled) < min(disabled) * 1.5
 
 
 def test_gils_run_overhead_when_disabled():
@@ -125,4 +148,4 @@ def test_gils_run_overhead_when_disabled():
     with observe(Observation(sink=MemorySink())):
         enabled = _time(run)
     _record("gils_run", disabled, enabled)
-    assert enabled < disabled * 1.5
+    assert min(enabled) < min(disabled) * 1.5

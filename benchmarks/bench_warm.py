@@ -16,7 +16,7 @@ it:
 * **warm-start quality** — same seed, same iteration budget: a search
   seeded with a prior incumbent must never end worse than the cold run.
 
-Results land in ``BENCH_warm.json``.
+Results land in the perf ledger (plus the legacy ``BENCH_warm.json``).
 """
 
 from __future__ import annotations
@@ -32,7 +32,8 @@ import pytest
 from conftest import record_table, scaled_int
 
 from repro import QueryGraph, hard_instance
-from repro.bench import format_table, write_json
+from repro.bench import format_table
+from repro.bench.ledger import emit_sections, timer_stats
 from repro.core.budget import Budget
 from repro.core.parallel import parallel_restarts
 from repro.service import DatasetRegistry, JoinClient, JoinServer
@@ -57,11 +58,17 @@ def _flush_results():
             precision=6,
         )
     )
-    write_json(_JSON_PATH, {"sections": _RESULTS})
+    emit_sections("warm", _RESULTS, legacy_path=_JSON_PATH)
 
 
-def _record(section: str, value: float, unit: str) -> None:
-    _RESULTS.append({"section": section, "value": value, "unit": unit})
+def _record(
+    section: str, value: float, unit: str, better: str | None = None,
+    timer: dict | None = None,
+) -> None:
+    _RESULTS.append({
+        "section": section, "value": value, "unit": unit, "better": better,
+        "timer": timer,
+    })
 
 
 def _run_server(server: JoinServer) -> threading.Thread:
@@ -97,12 +104,13 @@ def test_publish_and_attach_cost():
     gc.collect()
     gc.disable()  # GC pauses are milliseconds — the very scale under test
     try:
-        rebuild_s = float("inf")
+        rebuild_samples = []
         for _round in range(5):
             started = time.perf_counter()
             rebuilt = SpatialDataset(list(dataset), name="rebuild")
             _ = rebuilt.tree, rebuilt.columns
-            rebuild_s = min(rebuild_s, time.perf_counter() - started)
+            rebuild_samples.append(time.perf_counter() - started)
+        rebuild_s = min(rebuild_samples)
 
         plane = WarmPlane()
         try:
@@ -113,22 +121,27 @@ def test_publish_and_attach_cost():
             warmup = SegmentManager()  # first attach pays one-time OS costs
             attach_dataset(spec, manager=warmup)
             warmup.shutdown()
-            attach_s = float("inf")
+            attach_samples = []
             for _round in range(5):
                 manager = SegmentManager()  # explicit manager: bypass the cache
                 started = time.perf_counter()
                 attached = attach_dataset(spec, manager=manager)
-                attach_s = min(attach_s, time.perf_counter() - started)
+                attach_samples.append(time.perf_counter() - started)
                 assert len(attached) == len(dataset)
                 manager.shutdown()
+            attach_s = min(attach_samples)
         finally:
             report = plane.shutdown()
     finally:
         gc.enable()
     assert report["leaked"] == []
+    # publish is measured once (the plane pays it once) — tracked ungated;
+    # rebuild/attach are best-of-5 and gate on the same machine
     _record("publish_cold", publish_s, "s")
-    _record("index_rebuild", rebuild_s, "s")
-    _record("attach", attach_s, "s")
+    _record("index_rebuild", rebuild_s, "s", better="lower",
+            timer=timer_stats(rebuild_samples))
+    _record("attach", attach_s, "s", better="lower",
+            timer=timer_stats(attach_samples))
     # attach-don't-rebuild: mapping the shared pages and rewiring nodes
     # around them must undercut building the index from scratch
     assert attach_s < rebuild_s, "attach should undercut a cold index rebuild"
@@ -174,9 +187,13 @@ def test_warm_solve_vs_cache_hit():
     warm_p50 = statistics.median(round_trips)
     solve_p50 = statistics.median(solve_only)
     hit_p50 = statistics.median(hits)
-    _record("warm_solve_p50", warm_p50, "s")
-    _record("solve_only_p50", solve_p50, "s")
-    _record("cache_hit_p50", hit_p50, "s")
+    _record("warm_solve_p50", warm_p50, "s", better="lower",
+            timer=timer_stats(round_trips))
+    _record("solve_only_p50", solve_p50, "s", better="lower",
+            timer=timer_stats(solve_only))
+    _record("cache_hit_p50", hit_p50, "s", better="lower",
+            timer=timer_stats(hits))
+    # a difference of two medians: tracked in the trajectory, not gated
     _record("warm_dispatch_overhead_p50", warm_p50 - solve_p50, "s")
     # the warm plane's contract: a real solve's round trip stays within 2×
     # of the ideal (in-worker solve + a cache hit's dispatch) — dataset

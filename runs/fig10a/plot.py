@@ -1,0 +1,49 @@
+"""T3 — render Figure 10a (best similarity vs number of variables).
+
+Reads results.csv, writes fig10a.txt (ASCII, one panel per query type) and
+fig10a.png when matplotlib is importable; the text chart is always printed.
+"""
+
+import csv
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import ascii_chart, save_png  # noqa: E402
+
+ALGORITHMS = ("ILS", "GILS", "SEA")
+
+
+def main() -> None:
+    with open(os.path.join(HERE, "results.csv"), newline="") as handle:
+        rows = list(csv.DictReader(handle))
+
+    panels = []
+    for query in ("chain", "clique"):
+        cells = sorted(
+            (r for r in rows if r["query"] == query), key=lambda r: int(r["n"])
+        )
+        if not cells:
+            continue
+        xs = [int(r["n"]) for r in cells]
+        series = {a: [float(r[a]) for r in cells] for a in ALGORITHMS}
+        title = f"Figure 10a ({query}) — best similarity vs n"
+        panels.append(ascii_chart(
+            title, xs, series,
+            x_label="n (variables)", y_label="similarity",
+        ))
+        if save_png(os.path.join(HERE, f"fig10a_{query}.png"), title, xs,
+                    series, x_label="n (variables)", y_label="similarity"):
+            print(f"wrote fig10a_{query}.png")
+
+    chart = "\n\n".join(panels)
+    with open(os.path.join(HERE, "fig10a.txt"), "w") as handle:
+        handle.write(chart + "\n")
+    print(chart)
+    print("wrote fig10a.txt")
+
+
+if __name__ == "__main__":
+    main()

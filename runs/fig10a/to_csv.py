@@ -1,0 +1,43 @@
+"""T2 — pivot raw/fig10a.jsonl ledger rows into results.csv.
+
+One CSV row per (query type, n) grid cell with the best similarity of each
+algorithm, matching the axes of Figure 10a in the paper.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import write_csv  # noqa: E402
+from repro.bench.ledger import read_ledger  # noqa: E402
+
+ALGORITHMS = ("ILS", "GILS", "SEA")
+
+
+def main() -> None:
+    rows = read_ledger(os.path.join(HERE, "raw", "fig10a.jsonl"))
+    cells = {}
+    for row in rows:
+        query, n_part, algorithm = row["section"].split("/")
+        n = int(n_part.removeprefix("n="))
+        cell = cells.setdefault((query, n), {
+            "query": query,
+            "n": n,
+            "density": row["meta"]["density"],
+            "time_limit": row["meta"]["time_limit"],
+        })
+        cell[algorithm] = row["value"]
+    columns = ["query", "n", "density", "time_limit", *ALGORITHMS]
+    ordered = sorted(cells.values(), key=lambda c: (c["query"], c["n"]))
+    write_csv(
+        os.path.join(HERE, "results.csv"),
+        columns,
+        [[cell[column] for column in columns] for cell in ordered],
+    )
+    print(f"wrote results.csv ({len(ordered)} grid cells)")
+
+
+if __name__ == "__main__":
+    main()

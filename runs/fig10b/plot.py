@@ -1,0 +1,52 @@
+"""T3 — render Figure 10b (best similarity over time, n = 15).
+
+Reads results.csv, writes fig10b.txt (ASCII, one panel per query type)
+and PNGs when matplotlib is importable; the text chart is always printed.
+"""
+
+import csv
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import ascii_chart, save_png  # noqa: E402
+
+
+def main() -> None:
+    with open(os.path.join(HERE, "results.csv"), newline="") as handle:
+        rows = list(csv.DictReader(handle))
+
+    panels = []
+    for query in ("chain", "clique"):
+        sub = [r for r in rows if r["query"] == query]
+        if not sub:
+            continue
+        xs = sorted({float(r["t"]) for r in sub})
+        series = {}
+        for r in sub:
+            series.setdefault(r["algorithm"], dict())[float(r["t"])] = float(
+                r["similarity"]
+            )
+        aligned = {
+            name: [points.get(x) for x in xs]
+            for name, points in sorted(series.items())
+        }
+        title = f"Figure 10b ({query}, n=15) — similarity over time"
+        panels.append(ascii_chart(
+            title, xs, aligned, x_label="t (s)", y_label="similarity",
+        ))
+        if save_png(os.path.join(HERE, f"fig10b_{query}.png"), title, xs,
+                    aligned, x_label="t (s)", y_label="similarity"):
+            print(f"wrote fig10b_{query}.png")
+
+    chart = "\n\n".join(panels)
+    with open(os.path.join(HERE, "fig10b.txt"), "w") as handle:
+        handle.write(chart + "\n")
+    print(chart)
+    print("wrote fig10b.txt")
+
+
+if __name__ == "__main__":
+    main()

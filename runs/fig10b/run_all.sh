@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# T1 of the Figure 10b recipe (see README.md): run the benchmark and land
+# its ledger rows in raw/fig10b.jsonl, then chain T2 (to_csv) and T3 (plot).
+set -euo pipefail
+cd "$(dirname "$0")"
+REPO_ROOT="$(cd ../.. && pwd)"
+
+mkdir -p raw
+rm -f raw/fig10b.jsonl
+
+export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:${PYTHONPATH}}"
+export REPRO_LEDGER_PATH="$(pwd)/raw/fig10b.jsonl"
+export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.1}"
+
+python -m pytest "${REPO_ROOT}/benchmarks/bench_fig10b.py" -q -p no:cacheprovider
+python to_csv.py
+python plot.py

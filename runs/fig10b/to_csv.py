@@ -1,0 +1,35 @@
+"""T2 — unroll raw/fig10b.jsonl ledger rows into results.csv.
+
+Each ledger row carries the full similarity-over-time staircase in its
+``meta`` (grid + series); the CSV is the long format: one row per
+(query type, algorithm, time point).
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import write_csv  # noqa: E402
+from repro.bench.ledger import read_ledger  # noqa: E402
+
+
+def main() -> None:
+    rows = read_ledger(os.path.join(HERE, "raw", "fig10b.jsonl"))
+    out = []
+    for row in rows:
+        query, algorithm = row["section"].split("/")
+        for t, similarity in zip(row["meta"]["grid"], row["meta"]["series"]):
+            out.append([query, algorithm, t, similarity])
+    out.sort(key=lambda r: (r[0], r[1], r[2]))
+    write_csv(
+        os.path.join(HERE, "results.csv"),
+        ["query", "algorithm", "t", "similarity"],
+        out,
+    )
+    print(f"wrote results.csv ({len(out)} time points)")
+
+
+if __name__ == "__main__":
+    main()

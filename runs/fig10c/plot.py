@@ -1,0 +1,41 @@
+"""T3 — render Figure 10c (best similarity vs expected #solutions, n = 15).
+
+Reads results.csv, writes fig10c.txt (ASCII, log-x) and fig10c.png when
+matplotlib is importable; the text chart is always printed.
+"""
+
+import csv
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import ascii_chart, save_png  # noqa: E402
+
+ALGORITHMS = ("ILS", "GILS", "SEA")
+
+
+def main() -> None:
+    with open(os.path.join(HERE, "results.csv"), newline="") as handle:
+        rows = sorted(csv.DictReader(handle), key=lambda r: float(r["Sol"]))
+
+    xs = [float(r["Sol"]) for r in rows]
+    series = {a: [float(r[a]) for r in rows] for a in ALGORITHMS}
+    title = "Figure 10c (clique, n=15) — similarity vs expected #solutions"
+    chart = ascii_chart(
+        title, xs, series,
+        x_label="expected solutions (log)", y_label="similarity", logx=True,
+    )
+    if save_png(os.path.join(HERE, "fig10c.png"), title, xs, series,
+                x_label="expected solutions", y_label="similarity", logx=True):
+        print("wrote fig10c.png")
+
+    with open(os.path.join(HERE, "fig10c.txt"), "w") as handle:
+        handle.write(chart + "\n")
+    print(chart)
+    print("wrote fig10c.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""T2 — pivot raw/fig10c.jsonl ledger rows into results.csv.
+
+One CSV row per expected-solutions target with the best similarity of
+each algorithm, matching the axes of Figure 10c in the paper.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import write_csv  # noqa: E402
+from repro.bench.ledger import read_ledger  # noqa: E402
+
+ALGORITHMS = ("ILS", "GILS", "SEA")
+
+
+def main() -> None:
+    rows = read_ledger(os.path.join(HERE, "raw", "fig10c.jsonl"))
+    cells = {}
+    for row in rows:
+        _, algorithm = row["section"].split("/")
+        sol = float(row["meta"]["Sol"])
+        cell = cells.setdefault(sol, {
+            "Sol": sol,
+            "density": row["meta"]["density"],
+        })
+        cell[algorithm] = row["value"]
+    columns = ["Sol", "density", *ALGORITHMS]
+    ordered = sorted(cells.values(), key=lambda c: c["Sol"])
+    write_csv(
+        os.path.join(HERE, "results.csv"),
+        columns,
+        [[cell[column] for column in columns] for cell in ordered],
+    )
+    print(f"wrote results.csv ({len(ordered)} solution targets)")
+
+
+if __name__ == "__main__":
+    main()

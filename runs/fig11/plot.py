@@ -1,0 +1,41 @@
+"""T3 — render Figure 11 (seconds to the exact solution, log-y).
+
+Reads results.csv, writes fig11.txt (ASCII) and fig11.png when
+matplotlib is importable; the text chart is always printed.
+"""
+
+import csv
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import ascii_chart, save_png  # noqa: E402
+
+METHODS = ("IBB", "ILS+IBB", "SEA+IBB")
+
+
+def main() -> None:
+    with open(os.path.join(HERE, "results.csv"), newline="") as handle:
+        rows = sorted(csv.DictReader(handle), key=lambda r: int(r["n"]))
+
+    xs = [int(r["n"]) for r in rows]
+    series = {m: [max(float(r[m]), 1e-4) for r in rows] for m in METHODS}
+    title = "Figure 11 — seconds to the exact solution (cliques, planted Sol=1)"
+    chart = ascii_chart(
+        title, xs, series,
+        x_label="n (variables)", y_label="t (s, log)", logy=True,
+    )
+    if save_png(os.path.join(HERE, "fig11.png"), title, xs, series,
+                x_label="n (variables)", y_label="t (s)", logy=True):
+        print("wrote fig11.png")
+
+    with open(os.path.join(HERE, "fig11.txt"), "w") as handle:
+        handle.write(chart + "\n")
+    print(chart)
+    print("wrote fig11.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""T2 — pivot raw/fig11.jsonl ledger rows into results.csv.
+
+One CSV row per query size n with the mean seconds-to-exact-solution of
+plain IBB and the two two-step methods, plus their exact-hit tallies.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+
+from repro.bench import write_csv  # noqa: E402
+from repro.bench.ledger import read_ledger  # noqa: E402
+
+METHODS = ("IBB", "ILS+IBB", "SEA+IBB")
+
+
+def main() -> None:
+    rows = read_ledger(os.path.join(HERE, "raw", "fig11.jsonl"))
+    cells = {}
+    for row in rows:
+        n_part, method = row["section"].split("/")
+        n = int(n_part.removeprefix("n="))
+        cell = cells.setdefault(n, {"n": n})
+        cell[method] = row["value"]
+        cell[f"{method} exact"] = row["meta"]["exact"]
+    columns = ["n"] + [c for m in METHODS for c in (m, f"{m} exact")]
+    ordered = sorted(cells.values(), key=lambda c: c["n"])
+    write_csv(
+        os.path.join(HERE, "results.csv"),
+        columns,
+        [[cell[column] for column in columns] for cell in ordered],
+    )
+    print(f"wrote results.csv ({len(ordered)} query sizes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,15 +1,15 @@
-"""The repro project's invariant checkers (rules RL001–RL013).
+"""The repro project's invariant checkers (rules RL001–RL014).
 
 Each rule encodes one convention the engine's correctness or
 reproducibility depends on; see ``docs/static-analysis.md`` for the full
-rationale and suppression guidance.  RL001–RL009 are per-module rules;
-RL010–RL013 run in the project phase over the whole-program model of
-:mod:`repro.analysis.project` (call graph, symbol tables, taint).
+rationale and suppression guidance.  RL001–RL009 and RL014 are per-module
+rules; RL010–RL013 run in the project phase over the whole-program model
+of :mod:`repro.analysis.project` (call graph, symbol tables, taint).
 
 ================  ====================================================
 RL001             unseeded randomness outside ``tests/``
 RL002             raw clock access outside ``core/budget.py``,
-                  ``benchmarks/`` and ``obs/``
+                  ``benchmarks/``, ``obs/`` and ``bench/ledger.py``
 RL003             ``Node`` mutators that skip bounds-cache invalidation
 RL004             ``use_kernels`` entry points without a scalar twin or
                   a registered parity test
@@ -32,6 +32,9 @@ RL012             non-spec values crossing the process-pool pickle
                   boundary (``submit``/``run_specs*``/``SolveJob``)
 RL013             ``fault_point`` sites not declared in
                   ``faults/hooks.py``, and declared-but-dead sites
+RL014             benchmark results written with raw ``json.dump`` /
+                  ``write_json`` instead of the perf ledger
+                  (``repro.bench.ledger.emit_sections``)
 ================  ====================================================
 """
 
@@ -63,6 +66,7 @@ __all__ = [
     "AttachedArrayMutation",
     "PickleBoundary",
     "FaultSiteConsistency",
+    "LedgerDiscipline",
 ]
 
 
@@ -204,8 +208,8 @@ class UnseededRandomness(Checker):
 # ----------------------------------------------------------------------
 @register
 class ClockDiscipline(Checker):
-    """Wall-clock reads are confined to ``core/budget.py``, ``benchmarks/``
-    and ``obs/``.
+    """Wall-clock reads are confined to ``core/budget.py``, ``benchmarks/``,
+    ``obs/`` and ``bench/ledger.py``.
 
     Budgets carry an injectable ``clock`` so tests can simulate time; a raw
     ``time.perf_counter()`` elsewhere cannot be faked and re-introduces
@@ -220,7 +224,13 @@ class ClockDiscipline(Checker):
     description = "raw clock access outside core/budget.py, benchmarks/ and obs/"
 
     CLOCK_ATTRIBUTES = frozenset({"time", "monotonic", "perf_counter", "process_time"})
-    ALLOWED_SUFFIXES = ("repro/core/budget.py", "core/budget.py")
+    #: ``bench/ledger.py`` is sanctioned like ``obs/``: it *records* wall
+    #: time (row timestamps, run ids) for the perf trajectory, never
+    #: steering the search
+    ALLOWED_SUFFIXES = (
+        "repro/core/budget.py", "core/budget.py",
+        "repro/bench/ledger.py", "bench/ledger.py",
+    )
     #: ``obs/`` is sanctioned: sinks stamp wall-clock timestamps and the
     #: default tracer clock falls back to a Stopwatch-compatible reader
     ALLOWED_DIRECTORIES = ("benchmarks", "obs")
@@ -1370,3 +1380,50 @@ class FaultSiteConsistency(ProjectChecker):
             hint="fault plans address sites by exact string; computed names "
             "can never be validated against the registry",
         )
+
+
+# ----------------------------------------------------------------------
+# RL014 — benchmark results go through the perf ledger
+# ----------------------------------------------------------------------
+@register
+class LedgerDiscipline(Checker):
+    """Benchmarks persist results through :mod:`repro.bench.ledger` only.
+
+    The perf-trajectory ledger is the single source of truth ``repro
+    bench compare`` gates CI on: every row is schema-validated, stamped
+    with the run id / commit / environment fingerprint, and appended to
+    one diffable JSONL trajectory.  A benchmark that writes its numbers
+    with a raw ``json.dump`` (or the pre-ledger ``write_json`` helper)
+    produces an orphan blob the regression gate never sees — the exact
+    failure mode the five ad-hoc ``BENCH_*.json`` schemas used to be.
+    ``emit_sections`` still writes the legacy per-family JSON next to the
+    ledger rows, so there is no reason to bypass it.
+    """
+
+    rule = "RL014"
+    description = "benchmark results must be emitted through repro.bench.ledger"
+
+    #: call names that serialize results behind the ledger's back
+    RAW_WRITERS = frozenset({"json.dump", "write_json"})
+
+    def applies(self, module: Module) -> bool:
+        return module.in_directory("benchmarks") or module.parts[0] == "benchmarks"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            name = dotted.rsplit(".", 1)[-1]
+            if dotted in self.RAW_WRITERS or name == "write_json":
+                yield self.finding(
+                    module,
+                    node,
+                    f"benchmark result written with {dotted}() instead of "
+                    "the perf ledger",
+                    hint="emit sections through repro.bench.ledger."
+                    "emit_sections (it appends validated ledger rows and "
+                    "still writes the legacy BENCH_*.json payload)",
+                )

@@ -1,0 +1,272 @@
+"""Diff a benchmark ledger against a committed baseline.
+
+``repro bench compare`` is the CI regression gate: it pairs the latest
+row per ``(bench, section)`` in the current ledger with the baseline's,
+computes the relative delta, and fails (exit 1) when any *gated* section
+— one whose ``better`` direction is declared — moved more than the
+threshold in the wrong direction.  Everything else is reported but never
+fails the build:
+
+``ok``           within the threshold (a delta of exactly the threshold
+                 still passes — the gate is *strictly more than*).
+``regressed``    moved > threshold against its ``better`` direction.
+``improved``     moved > threshold in its favour (informational).
+``new``          section in the current ledger only.
+``removed``      section in the baseline only.
+``skipped``      not comparable: measured at a different
+                 ``REPRO_BENCH_SCALE`` than the baseline (the workloads
+                 differ), or an absolute-time section measured on a
+                 different host (wall seconds only compare on the same
+                 machine; dimensionless ratios — speedups, percentages —
+                 compare everywhere).
+``untracked``    ``better`` is null on both sides: tracked in the
+                 trajectory, exempt from gating by design (figure
+                 similarities, shed counts, noisy one-shot timings).
+
+Two thresholds, by unit class.  Best-of-N wall timings of 10–30 ms
+sections swing 10–50 % run-to-run on shared/virtualised runners — a
+tight gate on them is pure flake.  So ``threshold_pct`` (the CLI's
+``--threshold``, default 10 %) applies to *stable* units — dimensionless
+ratios and counts — while :data:`TIME_UNITS` rows gate against the
+looser ``time_threshold_pct`` (``--time-threshold``, default 75 %), a
+catastrophic-only guard that still catches the failure mode it exists
+for (a vectorised path silently falling back to scalar is a 3–10×
+slowdown) without failing CI on scheduler noise.
+
+:func:`summarize_ledger` is the ``repro bench ledger`` half: the
+trajectory grouped by run (and commit) across the whole file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from .reporting import format_table
+
+__all__ = [
+    "CompareEntry",
+    "CompareResult",
+    "compare_ledgers",
+    "latest_rows",
+    "format_compare",
+    "summarize_ledger",
+    "section_series",
+    "TIME_UNITS",
+    "DEFAULT_TIME_THRESHOLD_PCT",
+]
+
+#: units carrying absolute wall time — host-bound, only comparable when
+#: the environment fingerprint (machine + platform) matches, and gated
+#: against the looser ``time_threshold_pct`` noise floor
+TIME_UNITS = frozenset({"s", "ms", "us", "ns", "s/call", "ns/call"})
+
+#: default noise floor for wall-clock sections (percent) — above every
+#: run-to-run spread observed on loaded runners, below any real blow-up
+DEFAULT_TIME_THRESHOLD_PCT = 75.0
+
+
+@dataclass
+class CompareEntry:
+    """One ``(bench, section)`` pairing of baseline and current rows."""
+
+    bench: str
+    section: str
+    status: str
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    delta_pct: Optional[float] = None
+    better: Optional[str] = None
+    unit: str = ""
+
+
+@dataclass
+class CompareResult:
+    """Everything ``repro bench compare`` reports and gates on."""
+
+    threshold_pct: float
+    time_threshold_pct: float = DEFAULT_TIME_THRESHOLD_PCT
+    entries: list[CompareEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CompareEntry]:
+        return [entry for entry in self.entries if entry.status == "regressed"]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions)
+
+
+def latest_rows(
+    rows: Iterable[Mapping[str, Any]],
+) -> dict[tuple[str, str], dict[str, Any]]:
+    """The last row per ``(bench, section)`` — later lines supersede earlier."""
+    latest: dict[tuple[str, str], dict[str, Any]] = {}
+    for row in rows:
+        latest[(str(row["bench"]), str(row["section"]))] = dict(row)
+    return latest
+
+
+def compare_ledgers(
+    baseline_rows: Iterable[Mapping[str, Any]],
+    current_rows: Iterable[Mapping[str, Any]],
+    threshold_pct: float = 10.0,
+    time_threshold_pct: float = DEFAULT_TIME_THRESHOLD_PCT,
+) -> CompareResult:
+    """Pair the latest rows of both ledgers and classify every section.
+
+    ``threshold_pct`` gates stable (dimensionless) units;
+    ``time_threshold_pct`` gates :data:`TIME_UNITS` rows — see the module
+    docstring for why wall-clock sections get the looser floor.
+    """
+    for name, value in (("threshold", threshold_pct),
+                        ("time threshold", time_threshold_pct)):
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    baseline = latest_rows(baseline_rows)
+    current = latest_rows(current_rows)
+    result = CompareResult(
+        threshold_pct=threshold_pct, time_threshold_pct=time_threshold_pct
+    )
+    for key in sorted(set(baseline) | set(current)):
+        bench, section = key
+        base_row = baseline.get(key)
+        cur_row = current.get(key)
+        if base_row is None:
+            assert cur_row is not None
+            result.entries.append(CompareEntry(
+                bench, section, "new",
+                current=float(cur_row["value"]),
+                better=cur_row.get("better"),
+                unit=str(cur_row.get("unit", "")),
+            ))
+            continue
+        if cur_row is None:
+            result.entries.append(CompareEntry(
+                bench, section, "removed",
+                baseline=float(base_row["value"]),
+                better=base_row.get("better"),
+                unit=str(base_row.get("unit", "")),
+            ))
+            continue
+        entry = CompareEntry(
+            bench, section, "ok",
+            baseline=float(base_row["value"]),
+            current=float(cur_row["value"]),
+            better=cur_row.get("better") or base_row.get("better"),
+            unit=str(cur_row.get("unit", "")),
+        )
+        base_env = base_row.get("env", {})
+        cur_env = cur_row.get("env", {})
+        incomparable = base_env.get("scale") != cur_env.get("scale") or (
+            entry.unit in TIME_UNITS
+            and (base_env.get("machine"), base_env.get("platform"))
+            != (cur_env.get("machine"), cur_env.get("platform"))
+        )
+        if incomparable:
+            entry.status = "skipped"
+            result.entries.append(entry)
+            continue
+        entry.delta_pct = _delta_pct(entry.baseline, entry.current)
+        gate_pct = (
+            time_threshold_pct if entry.unit in TIME_UNITS else threshold_pct
+        )
+        if entry.better not in ("lower", "higher"):
+            entry.status = "untracked"
+        elif entry.delta_pct is None:
+            entry.status = "ok"
+        else:
+            worse = (
+                entry.delta_pct if entry.better == "lower" else -entry.delta_pct
+            )
+            if worse > gate_pct:
+                entry.status = "regressed"
+            elif -worse > gate_pct:
+                entry.status = "improved"
+        result.entries.append(entry)
+    return result
+
+
+def _delta_pct(baseline: Optional[float], current: Optional[float]) -> Optional[float]:
+    if baseline is None or current is None:
+        return None
+    if baseline == 0:
+        return None if current == 0 else float("inf") if current > 0 else float("-inf")
+    return 100.0 * (current - baseline) / abs(baseline)
+
+
+def format_compare(result: CompareResult) -> str:
+    """The readable per-section table ``repro bench compare`` prints."""
+    rows = []
+    for entry in result.entries:
+        rows.append([
+            entry.bench,
+            entry.section,
+            "-" if entry.baseline is None else f"{entry.baseline:.6g}",
+            "-" if entry.current is None else f"{entry.current:.6g}",
+            entry.unit,
+            "-" if entry.delta_pct is None else f"{entry.delta_pct:+.1f}%",
+            entry.better or "-",
+            entry.status.upper() if entry.status == "regressed" else entry.status,
+        ])
+    table = format_table(
+        f"bench compare — threshold {result.threshold_pct:g}%, "
+        f"time threshold {result.time_threshold_pct:g}% "
+        f"({len(result.regressions)} regression(s))",
+        ["bench", "section", "baseline", "current", "unit", "delta", "better",
+         "status"],
+        rows,
+    )
+    return table
+
+
+def summarize_ledger(
+    rows: Iterable[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Group a ledger into its trajectory: one summary dict per run.
+
+    Runs keep file order (appended chronologically); each summary carries
+    the run id, commit, first timestamp, the bench families measured and
+    the row count — the view ``repro bench ledger`` renders.
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    order: list[str] = []
+    for row in rows:
+        run_id = str(row["run_id"])
+        summary = runs.get(run_id)
+        if summary is None:
+            summary = runs[run_id] = {
+                "run_id": run_id,
+                "commit": row.get("commit"),
+                "ts": float(row["ts"]),
+                "benches": set(),
+                "rows": 0,
+                "scale": row.get("env", {}).get("scale"),
+            }
+            order.append(run_id)
+        summary["rows"] += 1
+        summary["benches"].add(str(row["bench"]))
+        summary["ts"] = min(summary["ts"], float(row["ts"]))
+    summaries = [runs[run_id] for run_id in order]
+    for summary in summaries:
+        summary["benches"] = sorted(summary["benches"])
+    return summaries
+
+
+def section_series(
+    rows: Iterable[Mapping[str, Any]],
+    bench: str,
+    section: str,
+) -> list[dict[str, Any]]:
+    """One section's value across every run — the per-metric trajectory."""
+    return [
+        {
+            "run_id": row["run_id"],
+            "commit": row.get("commit"),
+            "ts": row["ts"],
+            "value": row["value"],
+            "unit": row.get("unit", ""),
+        }
+        for row in rows
+        if str(row["bench"]) == bench and str(row["section"]) == section
+    ]

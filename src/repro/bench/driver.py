@@ -1,0 +1,135 @@
+"""Discover and execute the benchmark files behind ``repro bench run``.
+
+Each ``benchmarks/bench_*.py`` file is a pytest module; the driver runs
+every selected file in its own subprocess (the benches start servers,
+process pools and shared-memory planes — isolation keeps one family's
+crash from poisoning the next) with the ledger environment exported:
+
+* :data:`~repro.bench.ledger.LEDGER_PATH_ENV` — all families append to
+  one ledger file;
+* :data:`~repro.bench.ledger.RUN_ID_ENV` — all rows of the invocation
+  share one run id;
+* ``REPRO_BENCH_SCALE`` — the workload scale, stamped into each row's
+  environment fingerprint.
+
+The *smoke* tier is the CI-speed subset: fast, socket-free families that
+finish in well under a minute at scale 0.1.  ``full`` runs everything
+discovered.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from typing import Optional, Sequence
+
+from .ledger import LEDGER_PATH_ENV, RUN_ID_ENV, new_run_id
+
+__all__ = ["TIERS", "discover_benchmarks", "run_benchmarks", "BenchOutcome"]
+
+#: named benchmark subsets: family names (the ``bench_<name>.py`` stem tail)
+TIERS: dict[str, Optional[tuple[str, ...]]] = {
+    "smoke": ("kernels", "obs_overhead", "faults"),
+    "full": None,
+}
+
+
+class BenchOutcome:
+    """One benchmark file's subprocess result."""
+
+    def __init__(self, path: str, returncode: int) -> None:
+        self.path = path
+        self.returncode = returncode
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+    @property
+    def family(self) -> str:
+        stem = os.path.splitext(os.path.basename(self.path))[0]
+        return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def discover_benchmarks(
+    directory: str,
+    tier: str = "full",
+    only: Optional[Sequence[str]] = None,
+) -> list[str]:
+    """``bench_*.py`` files under ``directory``, filtered by tier or name.
+
+    ``only`` names win over the tier: ``--only kernels warm`` runs exactly
+    those families.  Unknown names raise — a typo must not silently run
+    nothing.
+    """
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    files = sorted(
+        entry
+        for entry in os.listdir(directory)
+        if entry.startswith("bench_") and entry.endswith(".py")
+    )
+    families = {entry[len("bench_"):-len(".py")]: entry for entry in files}
+    if only:
+        missing = sorted(set(only) - set(families))
+        if missing:
+            raise ValueError(
+                f"unknown benchmark(s) {missing}; available: {sorted(families)}"
+            )
+        selected = [families[name] for name in only]
+    else:
+        wanted = TIERS[tier]
+        if wanted is None:
+            selected = list(files)
+        else:
+            missing = sorted(set(wanted) - set(families))
+            if missing:
+                raise ValueError(
+                    f"tier {tier!r} expects benchmark(s) {missing} that are "
+                    f"not in {directory}"
+                )
+            selected = [families[name] for name in wanted]
+    return [os.path.join(directory, entry) for entry in selected]
+
+
+def run_benchmarks(
+    files: Sequence[str],
+    *,
+    ledger: str,
+    run_id: Optional[str] = None,
+    scale: Optional[float] = None,
+    python: Optional[str] = None,
+    extra_env: Optional[dict[str, str]] = None,
+) -> list[BenchOutcome]:
+    """Run each benchmark file through pytest in a subprocess.
+
+    Returns one :class:`BenchOutcome` per file, in order; the caller
+    decides whether a non-zero pytest exit fails the whole run.
+    """
+    env = dict(os.environ)
+    env[LEDGER_PATH_ENV] = os.path.abspath(ledger)
+    env[RUN_ID_ENV] = run_id or new_run_id()
+    if scale is not None:
+        env["REPRO_BENCH_SCALE"] = repr(float(scale))
+    src = os.path.join(_repo_root(), "src")
+    if os.path.isdir(src):
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    if extra_env:
+        env.update(extra_env)
+    outcomes = []
+    for path in files:
+        completed = subprocess.run(
+            [python or sys.executable, "-m", "pytest", os.path.abspath(path), "-q"],
+            env=env,
+            cwd=_repo_root(),
+        )
+        outcomes.append(BenchOutcome(path, completed.returncode))
+    return outcomes
+
+
+def _repo_root() -> str:
+    """The tree the benchmarks live in: ``…/src/repro/bench`` → ``…``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.abspath(os.path.join(here, "..", "..", ".."))

@@ -53,7 +53,7 @@ from .metrics import (
     MetricsRegistry,
 )
 from .names import METRIC_NAMES, SPAN_NAMES, check_metric_name, check_span_name
-from .report import phase_rows, summarize_trace
+from .report import phase_rows, service_latency, summarize_trace
 from .spans import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -84,6 +84,7 @@ __all__ = [
     "collect_exports",
     "summarize_trace",
     "phase_rows",
+    "service_latency",
 ]
 
 _EMITTING_TRACE_CLASS: Optional[type] = None

@@ -10,9 +10,13 @@ it without the CLI.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+import math
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
-__all__ = ["summarize_trace", "phase_rows"]
+__all__ = ["summarize_trace", "phase_rows", "service_latency"]
+
+#: the span whose close events are a request's end-to-end solve latency
+SERVICE_SOLVE_SPAN = "service.solve"
 
 
 def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
@@ -28,13 +32,17 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             or None,
           "local_maxima": <count>, "restarts": <count>, "crossovers": <count>,
           "requests": {"count", "by_status", "elapsed"} or None,
+          "latency": {"count", "p50", "p95", "p99"} or None,
           "buffer": {"hits", "misses", "hit_ratio"} or None,
           "faults": {"crashes", "hangs", "corruptions", "retries",
             "rebuilds", "recovered_members", "lost_members"} or None,
           "metrics": last metric_snapshot payload or None,
         }
 
-    ``requests`` aggregates the service request log; ``buffer`` reads the
+    ``requests`` aggregates the service request log; ``latency`` holds
+    nearest-rank p50/p95/p99 over the ``service.solve`` span closes (the
+    end-to-end per-request solve latency, present only for service
+    traces); ``buffer`` reads the
     ``index.buffer.*`` counters out of the final metric snapshot (present
     only when a buffer pool was attached during the run); ``faults`` reads
     the ``faults.*`` recovery counters the same way (present only when
@@ -53,6 +61,7 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     crossovers = 0
     total = 0
     requests: Optional[dict[str, Any]] = None
+    latency_samples: list[float] = []
     for record in records:
         total += 1
         member = record.get("member")
@@ -73,6 +82,8 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             reads = record.get("node_reads")
             if reads is not None:
                 phase["node_reads"] = (phase["node_reads"] or 0) + int(reads)
+            if name == SERVICE_SOLVE_SPAN:
+                latency_samples.append(float(record.get("elapsed", 0.0)))
         elif event_type == "convergence":
             points += 1
             convergence = {
@@ -133,10 +144,48 @@ def summarize_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         "restarts": restarts,
         "crossovers": crossovers,
         "requests": requests,
+        "latency": _latency_stats(latency_samples),
         "buffer": buffer,
         "faults": faults,
         "metrics": metrics,
     }
+
+
+def service_latency(
+    records: Iterable[Mapping[str, Any]],
+    span_name: str = SERVICE_SOLVE_SPAN,
+) -> Optional[dict[str, Any]]:
+    """Request-latency percentiles over one span's ``span_close`` events.
+
+    Returns ``{"count", "p50", "p95", "p99"}`` in seconds (nearest-rank
+    percentiles — deterministic, no interpolation), or ``None`` when the
+    trace closed no span of that name.  This is the same statistic
+    ``trace summarize`` surfaces and the bench ledger attaches to its obs
+    snapshots.
+    """
+    samples = [
+        float(record.get("elapsed", 0.0))
+        for record in records
+        if record.get("type") == "span_close" and record.get("name") == span_name
+    ]
+    return _latency_stats(samples)
+
+
+def _latency_stats(samples: Sequence[float]) -> Optional[dict[str, Any]]:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    return {
+        "count": len(ordered),
+        "p50": _nearest_rank(ordered, 50.0),
+        "p95": _nearest_rank(ordered, 95.0),
+        "p99": _nearest_rank(ordered, 99.0),
+    }
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 def phase_rows(summary: Mapping[str, Any]) -> list[list[Any]]:

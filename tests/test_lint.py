@@ -1,4 +1,4 @@
-"""Fixture tests for the repro-lint checker suite (rules RL001–RL013).
+"""Fixture tests for the repro-lint checker suite (rules RL001–RL014).
 
 Each rule gets one known-good and one known-bad snippet; the suite also
 covers suppressions, the JSON report round-trip, the CLI exit contract,
@@ -42,11 +42,11 @@ def lint(source: str, path: str = CORE_PATH, **kwargs) -> list[Finding]:
     return lint_source(source, path=path, **kwargs)
 
 
-def test_all_thirteen_rules_registered():
+def test_all_fourteen_rules_registered():
     assert set(all_checkers()) >= {
         "RL001", "RL002", "RL003", "RL004", "RL005",
         "RL006", "RL007", "RL008", "RL009",
-        "RL010", "RL011", "RL012", "RL013",
+        "RL010", "RL011", "RL012", "RL013", "RL014",
     }
 
 
@@ -1092,6 +1092,74 @@ def test_rl013_sabotage_undeclared_site_literal(tmp_path):
     messages = " | ".join(finding.message for finding in findings)
     assert "'service.jobz'" in messages          # the typo reference
     assert "SITE_SERVICE_JOB" in messages        # the now-dead declaration
+
+
+# ----------------------------------------------------------------------
+# RL014 — benchmark results must go through the perf ledger
+# ----------------------------------------------------------------------
+RL014_GOOD = """
+from repro.bench.ledger import emit_sections
+
+def flush(results):
+    emit_sections("demo", [
+        {"section": "hot", "value": results["hot"], "unit": "s",
+         "better": "lower"},
+    ], legacy_path="BENCH_demo.json")
+"""
+
+RL014_BAD = """
+import json
+from repro.bench import write_json
+
+def flush(results):
+    with open("BENCH_demo.json", "w") as handle:
+        json.dump(results, handle)
+    write_json("BENCH_demo2.json", results)
+"""
+
+BENCH_PATH = "benchmarks/bench_demo.py"
+
+
+def test_rl014_good():
+    assert not lint(RL014_GOOD, path=BENCH_PATH, select=["RL014"])
+
+
+def test_rl014_bad():
+    findings = lint(RL014_BAD, path=BENCH_PATH, select=["RL014"])
+    assert len(findings) == 2
+    assert rules_of(findings) == {"RL014"}
+    messages = " | ".join(finding.message for finding in findings)
+    assert "json.dump" in messages
+    assert "write_json" in messages
+    assert all("perf ledger" in finding.message for finding in findings)
+
+
+def test_rl014_only_applies_to_benchmarks():
+    # write_json's own definition (and any src/ caller) is out of scope —
+    # the rule polices the benchmark emitters, not the reporting module
+    assert not lint(RL014_BAD, path=CORE_PATH, select=["RL014"])
+    assert not lint(RL014_BAD, path="src/repro/bench/reporting.py",
+                    select=["RL014"])
+
+
+def test_rl014_real_benchmarks_are_clean():
+    for path in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+        findings = lint_source(
+            path.read_text(), path=f"benchmarks/{path.name}", select=["RL014"]
+        )
+        assert findings == [], render_text(findings)
+
+
+def test_rl014_sabotage_raw_writer_in_real_bench():
+    """Bypassing the ledger in a real benchmark file must trip RL014."""
+    bench = (REPO_ROOT / "benchmarks/bench_kernels.py").read_text()
+    sabotaged = bench.replace("emit_sections(", "write_json(")
+    assert sabotaged != bench, "bench no longer matches expected shape"
+    findings = lint_source(
+        sabotaged, path="benchmarks/bench_kernels.py", select=["RL014"]
+    )
+    assert rules_of(findings) == {"RL014"}
+    assert "write_json" in findings[0].message
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.obs import (
     phase_rows,
     read_trace,
     replay_into,
+    service_latency,
     summarize_trace,
     validate_event,
 )
@@ -558,3 +559,47 @@ def test_summarize_trace_sections_absent_without_data():
     summary = summarize_trace(sink.records)
     assert summary["requests"] is None
     assert summary["buffer"] is None
+    assert summary["latency"] is None  # no service.solve spans recorded
+
+
+def solve_spans(durations):
+    """A MemorySink trace holding one ``service.solve`` span per duration."""
+    observation, sink, clock = fresh_observation()
+    for duration in durations:
+        with observation.span("service.solve"):
+            clock.advance(duration)
+    return sink.records
+
+
+def test_service_latency_percentiles_nearest_rank():
+    durations = [0.001 * step for step in range(1, 101)]  # 1ms..100ms
+    latency = service_latency(solve_spans(durations))
+    assert latency["count"] == 100
+    assert latency["p50"] == pytest.approx(0.050)
+    assert latency["p95"] == pytest.approx(0.095)
+    assert latency["p99"] == pytest.approx(0.099)
+
+
+def test_service_latency_single_sample_uses_it_everywhere():
+    latency = service_latency(solve_spans([0.25]))
+    assert latency == {
+        "count": 1,
+        "p50": pytest.approx(0.25),
+        "p95": pytest.approx(0.25),
+        "p99": pytest.approx(0.25),
+    }
+
+
+def test_service_latency_ignores_other_spans_and_empty_traces():
+    observation, sink, clock = fresh_observation()
+    with observation.span("gils.run"):
+        clock.advance(1.0)
+    assert service_latency(sink.records) is None
+    assert service_latency([]) is None
+
+
+def test_summarize_trace_latency_matches_service_latency():
+    records = solve_spans([0.010, 0.020, 0.030])
+    summary = summarize_trace(records)
+    assert summary["latency"] == service_latency(records)
+    assert summary["latency"]["p50"] == pytest.approx(0.020)
