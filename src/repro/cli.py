@@ -94,12 +94,20 @@ from .core import (
 from .obs import (
     JsonlSink,
     Observation,
+    merge_trace_files,
     observe,
     phase_rows,
     read_trace,
     summarize_trace,
 )
 from .faults import FaultPlan, run_chaos_queries
+from .fleet import (
+    PARTITION_METHODS,
+    FleetHandle,
+    load_fleet,
+    partition_instance,
+    save_partition,
+)
 from .query import hard_instance, load_instance, planted_instance, save_instance
 from .service import DatasetRegistry, JoinClient, JoinServer
 
@@ -186,13 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_commands = trace.add_subparsers(dest="trace_command", required=True)
     summarize = trace_commands.add_parser(
-        "summarize", help="per-phase time/node-access table of one trace"
+        "summarize", help="per-phase time/node-access table of one or more "
+        "traces (several files merge with per-source tagging)"
     )
-    summarize.add_argument("path")
+    summarize.add_argument("paths", nargs="+", metavar="path",
+                           help="trace file(s); a shell glob summarizes a "
+                           "whole fleet run at once")
     validate = trace_commands.add_parser(
         "validate", help="check every record against the event schema"
     )
-    validate.add_argument("path")
+    validate.add_argument("paths", nargs="+", metavar="path")
 
     bench = commands.add_parser(
         "bench", help="run benchmarks, diff the perf ledger, inspect the "
@@ -344,6 +355,81 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--restarts", type=_positive_int, default=1)
     query.add_argument("--no-cache", action="store_true",
                        help="bypass the server's solution cache")
+
+    fleet = commands.add_parser(
+        "fleet", help="partition, serve and query a sharded fleet "
+        "(one JoinServer per spatial shard behind a cost-model router)"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_partition = fleet_commands.add_parser(
+        "partition", help="split a persisted instance into shard "
+        "sub-instances plus a routable fleet manifest"
+    )
+    fleet_partition.add_argument("directory",
+                                 help="persisted instance (see `generate`)")
+    fleet_partition.add_argument("--out", required=True,
+                                 help="output directory (shard-k/ dirs + "
+                                 "fleet.json)")
+    fleet_partition.add_argument("--shards", type=int, default=2,
+                                 help="number of spatial shards (>= 2)")
+    fleet_partition.add_argument("--method", default="str",
+                                 choices=sorted(PARTITION_METHODS),
+                                 help="str = data-adaptive STR tiles, "
+                                 "grid = regular grid")
+    fleet_partition.add_argument("--name", default="fleet",
+                                 help="fleet (and routed instance) name")
+    fleet_serve = fleet_commands.add_parser(
+        "serve", help="launch shard servers + router (or attach the router "
+        "to externally running shards)"
+    )
+    fleet_serve.add_argument("--fleet", required=True, metavar="MANIFEST",
+                             help="fleet.json written by `fleet partition`")
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument("--port", type=int, default=0,
+                             help="router port; 0 picks a free one "
+                             "(printed at startup)")
+    fleet_serve.add_argument("--attach", action="append", default=[],
+                             metavar="SHARD=HOST:PORT",
+                             help="attach to an already-running shard server "
+                             "instead of launching one; repeatable, must "
+                             "cover every shard when used")
+    fleet_serve.add_argument("--workers", type=_positive_int, default=2,
+                             help="solver pool size per launched shard")
+    fleet_serve.add_argument("--executor", default="process",
+                             choices=["process", "thread"])
+    fleet_serve.add_argument("--max-pending", type=_positive_int, default=16)
+    fleet_serve.add_argument("--deadline", type=float, default=5.0)
+    fleet_serve.add_argument("--max-deadline", type=float, default=60.0)
+    fleet_serve.add_argument("--cache-capacity", type=int, default=256,
+                             help="router merged-solution cache (0 disables)")
+    fleet_serve.add_argument("--trace", metavar="PATH", default=None,
+                             help="router-side JSONL request log")
+    fleet_serve.add_argument("--fault-plan", metavar="PATH", default=None,
+                             help="chaos plan activated in the router "
+                             "(fleet.dispatch site: simulated shard loss)")
+    fleet_query = fleet_commands.add_parser(
+        "query", help="issue one routed solve against a fleet router"
+    )
+    fleet_query.add_argument("--host", default="127.0.0.1")
+    fleet_query.add_argument("--port", type=int, required=True)
+    fleet_query.add_argument("--instance", required=True,
+                             help="fleet name (the router's routed instance)")
+    fleet_query.add_argument("--deadline", type=float, default=None)
+    fleet_query.add_argument("--max-iterations", type=_positive_int,
+                             default=None)
+    fleet_query.add_argument("--algorithm", default=None,
+                             choices=["ils", "gils", "sea", "isa"])
+    fleet_query.add_argument("--seed", type=int, default=0)
+    fleet_query.add_argument("--restarts", type=_positive_int, default=1)
+    fleet_query.add_argument("--fanout", type=_positive_int, default=None,
+                             help="contact only the k cheapest healthy "
+                             "shards (default: all)")
+    fleet_query.add_argument("--no-cache", action="store_true")
+    fleet_status = fleet_commands.add_parser(
+        "status", help="per-shard health/cost/dispatch table of a router"
+    )
+    fleet_status.add_argument("--host", default="127.0.0.1")
+    fleet_status.add_argument("--port", type=int, required=True)
     return parser
 
 
@@ -362,6 +448,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "query": _cmd_query,
         "chaos": _cmd_chaos,
+        "fleet": _cmd_fleet,
     }[args.command]
     return int(handler(args) or 0)
 
@@ -536,18 +623,40 @@ def _solve_and_report(
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "validate":
-        try:
-            records = read_trace(args.path, validate=True)
-        except ValueError as error:
-            print(f"invalid trace: {error}", file=sys.stderr)
+        failed = False
+        for path in args.paths:
+            try:
+                records = read_trace(path, validate=True)
+            except ValueError as error:
+                print(f"invalid trace: {error}", file=sys.stderr)
+                failed = True
+                continue
+            print(f"{path}: {len(records)} records, all schema-valid")
+        if failed:
             return 1
-        print(f"{args.path}: {len(records)} records, all schema-valid")
+        if len(args.paths) > 1:
+            merged = merge_trace_files(args.paths, validate=True)
+            print(f"merged: {len(merged)} records from "
+                  f"{len(args.paths)} source(s)")
         return 0
 
-    records = read_trace(args.path, validate=True)
+    if len(args.paths) == 1:
+        label = args.paths[0]
+        records = read_trace(label, validate=True)
+    else:
+        label = f"{len(args.paths)} files"
+        records = merge_trace_files(args.paths, validate=True)
     summary = summarize_trace(records)
-    print(f"trace: {args.path} — {summary['events']} events"
+    print(f"trace: {label} — {summary['events']} events"
           + (f", members {summary['members']}" if summary["members"] else ""))
+    if len(args.paths) > 1:
+        by_source: dict[str, int] = {}
+        for record in records:
+            source = str(record.get("source", "?"))
+            by_source[source] = by_source.get(source, 0) + 1
+        print("sources: " + ", ".join(
+            f"{source}={count}" for source, count in sorted(by_source.items())
+        ))
     rows = phase_rows(summary)
     if rows:
         print(format_table(
@@ -786,6 +895,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"datasets: {registry.dataset_names() or '-'}, "
               f"instances: {registry.instance_names() or '-'})",
               flush=True)
+        # machine-parseable: fleet smokes launch N servers on --port 0
+        # and scrape the bound port from this line
+        print(f"ready host={host} port={port}", flush=True)
         print(f"warm plane: {'on' if server.warm else 'off'}", flush=True)
         if fault_plan is not None:
             print(f"fault plan active: {len(fault_plan.specs)} spec(s) at "
@@ -902,6 +1014,197 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"saw {tally['recovered']}", file=sys.stderr)
         failed = True
     return 1 if failed else 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    return {
+        "partition": _cmd_fleet_partition,
+        "serve": _cmd_fleet_serve,
+        "query": _cmd_fleet_query,
+        "status": _cmd_fleet_status,
+    }[args.fleet_command](args)
+
+
+def _cmd_fleet_partition(args: argparse.Namespace) -> int:
+    try:
+        instance = load_instance(args.directory)
+    except (OSError, ValueError) as error:
+        print(f"cannot load instance: {error}", file=sys.stderr)
+        return 1
+    try:
+        partition = partition_instance(
+            instance, args.shards, method=args.method, name=args.name
+        )
+    except ValueError as error:
+        print(f"partition failed: {error}", file=sys.stderr)
+        return 1
+    manifest = save_partition(partition, args.out)
+    print(f"wrote {manifest}")
+    print(format_table(
+        f"fleet {args.name} — {args.shards} {args.method} shard(s)",
+        ["shard", "objects", "cost", "tile"],
+        [[shard.name, sum(shard.counts), round(shard.cost_total, 3),
+          "[" + ", ".join(f"{c:.3f}" for c in shard.tile) + "]"]
+         for shard in partition.spec.shards],
+    ))
+    return 0
+
+
+def _parse_endpoints(pairs: list[str]) -> dict[str, tuple[str, int]]:
+    endpoints: dict[str, tuple[str, int]] = {}
+    for pair in pairs:
+        name, separator, address = pair.partition("=")
+        host, colon, port = address.rpartition(":")
+        if not separator or not name or not host or not colon or not port.isdigit():
+            raise SystemExit(f"--attach expects SHARD=HOST:PORT, got {pair!r}")
+        endpoints[name] = (host, int(port))
+    return endpoints
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    try:
+        spec = load_fleet(args.fleet)
+    except (OSError, ValueError) as error:
+        print(f"cannot load fleet manifest: {error}", file=sys.stderr)
+        return 1
+    endpoints = _parse_endpoints(args.attach) or None
+    if endpoints is not None:
+        missing = [s.name for s in spec.shards if s.name not in endpoints]
+        if missing:
+            print(f"--attach must cover every shard; missing {missing}",
+                  file=sys.stderr)
+            return 1
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"cannot load fault plan: {error}", file=sys.stderr)
+            return 1
+    handle = FleetHandle(
+        spec,
+        endpoints=endpoints,
+        host=args.host,
+        router_port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        max_pending=args.max_pending,
+        default_deadline=args.deadline,
+        max_deadline=args.max_deadline,
+        cache_capacity=args.cache_capacity,
+        fault_plan=fault_plan,
+    )
+
+    async def _serve() -> None:
+        await handle.start()
+        for name, (host, port) in sorted(handle.shard_addresses.items()):
+            mode = "attached" if endpoints is not None else "launched"
+            print(f"shard {mode} name={name} host={host} port={port}",
+                  flush=True)
+        host, port = handle.address
+        print(f"listening on {host}:{port} "
+              f"(fleet {spec.name!r}, {len(spec.shards)} shard(s), "
+              f"method {spec.method})", flush=True)
+        print(f"ready host={host} port={port}", flush=True)
+        if fault_plan is not None:
+            print(f"fault plan active: {len(fault_plan.specs)} spec(s) at "
+                  f"{sorted(fault_plan.sites())}", flush=True)
+        try:
+            await handle.wait_for_shutdown()
+        finally:
+            await handle.stop()
+
+    if args.trace is None:
+        asyncio.run(_serve())
+        return 0
+    observation = Observation(sink=JsonlSink(args.trace))
+    try:
+        with observe(observation):
+            asyncio.run(_serve())
+            observation.emit_metrics()
+    finally:
+        observation.close()
+    print(f"trace: {args.trace}")
+    return 0
+
+
+def _cmd_fleet_query(args: argparse.Namespace) -> int:
+    try:
+        client = JoinClient(args.host, args.port)
+    except OSError as error:
+        print(f"cannot connect to {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    record: dict[str, object] = {
+        "v": 1,
+        "op": "solve",
+        "id": "cli-fleet-solve",
+        "instance": args.instance,
+        "seed": args.seed,
+        "restarts": args.restarts,
+        "cache": not args.no_cache,
+    }
+    if args.deadline is not None:
+        record["deadline"] = args.deadline
+    if args.max_iterations is not None:
+        record["max_iterations"] = args.max_iterations
+    if args.algorithm is not None:
+        record["algorithm"] = args.algorithm
+    if args.fanout is not None:
+        record["fanout"] = args.fanout
+    with client:
+        response = client.request(record)
+    if response.get("status") != "ok":
+        error = response.get("error", {})
+        print(f"error: {error.get('code')} — {error.get('message')} "
+              f"(retryable: {error.get('retryable')})", file=sys.stderr)
+        return 1
+    print(f"cache: {'hit' if response['cached'] else 'miss'}")
+    fleet = response.get("fleet", {})
+    if not fleet.get("cached"):
+        print(f"routing: {len(fleet.get('answered', []))}/"
+              f"{fleet.get('shards', '?')} shard(s) answered "
+              f"(winner {fleet.get('shard', '-')}, "
+              f"lost {fleet.get('lost', [])}, "
+              f"degraded {fleet.get('degraded', False)})")
+    print(f"result: {'exact' if response['exact'] else 'approximate'} "
+          f"violations={response['violations']} "
+          f"similarity={response['similarity']:.4f}"
+          + (" recovered" if response.get("recovered") else ""))
+    print(f"search: algorithm={response['algorithm']} "
+          f"iterations={response['iterations']} "
+          f"elapsed={response['elapsed']:.3f}s")
+    print(f"assignment: {response['assignment']}")
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    try:
+        client = JoinClient(args.host, args.port)
+    except OSError as error:
+        print(f"cannot connect to {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    with client:
+        response = client.request({"v": 1, "op": "stats", "id": "cli-fleet-stats"})
+    if response.get("status") != "ok" or "fleet" not in response:
+        print("not a fleet router (no fleet stats in response)", file=sys.stderr)
+        return 1
+    fleet = response["fleet"]
+    print(f"fleet {fleet['name']!r} ({fleet['method']}): "
+          f"{response['requests_total']} request(s), "
+          f"{response['errors_total']} error(s), "
+          f"{fleet['degraded_total']} degraded")
+    print(format_table(
+        "shards",
+        ["shard", "endpoint", "healthy", "cost", "objects",
+         "dispatched", "answered", "lost"],
+        [[s["name"], f"{s['endpoint'][0]}:{s['endpoint'][1]}",
+          "yes" if s["healthy"] else "DOWN", round(s["cost"], 3),
+          s["objects"], s["dispatched"], s["answered"], s["lost"]]
+         for s in fleet["shards"]],
+    ))
+    return 0
 
 
 def _cmd_rerun(args: argparse.Namespace) -> None:

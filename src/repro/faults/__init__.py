@@ -40,6 +40,7 @@ from .chaos import (
     run_chaos_queries,
 )
 from .hooks import (
+    SITE_FLEET_DISPATCH,
     SITE_MEMBER_PROGRESS,
     SITE_MEMBER_RESULT,
     SITE_MEMBER_START,
@@ -75,6 +76,7 @@ __all__ = [
     "SITE_MEMBER_PROGRESS",
     "SITE_MEMBER_RESULT",
     "SITE_SERVICE_JOB",
+    "SITE_FLEET_DISPATCH",
     "crash_member",
     "crash_after_improvements",
     "hang_member",

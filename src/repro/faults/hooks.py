@@ -45,6 +45,7 @@ __all__ = [
     "SITE_MEMBER_PROGRESS",
     "SITE_MEMBER_RESULT",
     "SITE_SERVICE_JOB",
+    "SITE_FLEET_DISPATCH",
 ]
 
 # ----------------------------------------------------------------------
@@ -58,6 +59,10 @@ SITE_MEMBER_PROGRESS = "parallel.member.progress"
 SITE_MEMBER_RESULT = "parallel.member.result"
 #: a service worker starts one solve job (index = the job's fault index)
 SITE_SERVICE_JOB = "service.job"
+#: the fleet router dispatches one sub-query to a shard (index = the
+#: router's dispatch counter) — a crash here simulates shard loss: the
+#: merged answer degrades to ``approximate``, the request never drops
+SITE_FLEET_DISPATCH = "fleet.dispatch"
 
 
 class InjectedCrash(RuntimeError):

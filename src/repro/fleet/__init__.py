@@ -1,0 +1,36 @@
+"""Sharded serving fleet: spatial partitioning, per-shard servers, router.
+
+The fleet layer turns the single-node join service into a scatter/merge
+topology, the paper's "very large databases" setting: datasets are
+spatially partitioned into shard sub-instances (:mod:`.partition`), one
+:class:`~repro.service.server.JoinServer` per shard owns its own worker
+pool and warm plane, and a :class:`~repro.fleet.router.FleetRouter`
+speaks the same JSON-lines protocol to clients — planning each multiway
+query across shards with the [TSS98] cost model, scattering
+deadline-budgeted sub-queries and merging partial solutions.  Shard loss
+degrades answers to ``approximate``; it never drops a request.
+"""
+
+from .launcher import FleetHandle
+from .partition import (
+    PARTITION_METHODS,
+    FleetPartition,
+    FleetSpec,
+    ShardSpec,
+    load_fleet,
+    partition_instance,
+    save_partition,
+)
+from .router import FleetRouter
+
+__all__ = [
+    "FleetHandle",
+    "FleetPartition",
+    "FleetRouter",
+    "FleetSpec",
+    "PARTITION_METHODS",
+    "ShardSpec",
+    "load_fleet",
+    "partition_instance",
+    "save_partition",
+]

@@ -1,0 +1,177 @@
+"""Fleet assembly: shard servers + router on one event loop.
+
+:class:`FleetHandle` is the programmatic way to stand a fleet up — the
+CLI ``fleet serve``, the tests and the benchmarks all go through it.
+Two modes:
+
+* **launch** (default) — build one :class:`~repro.service.server.JoinServer`
+  per shard from the partition's instances (in-memory) or from the
+  persisted shard directories, then the router on top.  Everything
+  shares the caller's event loop; each shard still owns its own worker
+  pool and warm plane, so process-executor shards solve in true
+  parallel.
+* **attach** — shards already run elsewhere (separate OS processes,
+  other hosts); only the router is started, over the given endpoints.
+  This is what the CI smoke test uses so it can kill a shard process
+  mid-burst.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..faults import FaultPlan
+from ..query.hardness import ProblemInstance
+from ..service.registry import DatasetRegistry
+from ..service.server import JoinServer
+from .partition import FleetSpec, load_shard_instance
+from .router import FleetRouter
+
+__all__ = ["FleetHandle"]
+
+
+class FleetHandle:
+    """Owns a running fleet: per-shard servers (optional) plus router.
+
+    Parameters
+    ----------
+    spec:
+        The fleet manifest (tiles, cost snapshots, id maps).
+    instances:
+        In-memory shard instances, parallel to ``spec.shards``.  ``None``
+        loads each shard from its persisted ``instance_dir``.
+    endpoints:
+        Attach mode: ``{shard_name: (host, port)}`` of externally running
+        shard servers; no shard processes are launched here.
+    host / router_port:
+        Router listening address (port ``0`` picks a free one).
+    workers / executor / max_pending / warm:
+        Per-shard :class:`JoinServer` knobs; ``executor="thread"`` keeps
+        tests light, ``"process"`` gives real parallelism.
+    fault_plan:
+        Chaos plan activated in the *router* process — this is where the
+        ``fleet.dispatch`` site lives.  Shard-side plans belong to the
+        shards themselves (pass one when launching them externally).
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        *,
+        instances: list[ProblemInstance] | None = None,
+        endpoints: dict[str, tuple[str, int]] | None = None,
+        host: str = "127.0.0.1",
+        router_port: int = 0,
+        workers: int = 1,
+        executor: str = "thread",
+        max_pending: int = 16,
+        default_deadline: float = 5.0,
+        max_deadline: float = 60.0,
+        cache_capacity: int = 256,
+        warm: bool | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        if instances is not None and len(instances) != len(spec.shards):
+            raise ValueError(
+                f"{len(spec.shards)} shards but {len(instances)} instances"
+            )
+        if endpoints is not None and instances is not None:
+            raise ValueError("attach mode (endpoints) excludes in-memory instances")
+        self.spec = spec
+        self._instances = instances
+        self._attach = dict(endpoints) if endpoints is not None else None
+        self._host = host
+        self._router_port = router_port
+        self._server_kwargs: dict[str, Any] = {
+            "workers": workers,
+            "executor": executor,
+            "max_pending": max_pending,
+            "default_deadline": default_deadline,
+            "max_deadline": max_deadline,
+            "warm": warm,
+        }
+        self._router_kwargs: dict[str, Any] = {
+            "max_pending": max_pending,
+            "default_deadline": default_deadline,
+            "max_deadline": max_deadline,
+            "cache_capacity": cache_capacity,
+            "fault_plan": fault_plan,
+        }
+        self.shard_servers: list[JoinServer] = []
+        self.router: FleetRouter | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The router's bound ``(host, port)`` (valid after :meth:`start`)."""
+        assert self.router is not None
+        return self.router.address
+
+    @property
+    def shard_addresses(self) -> dict[str, tuple[str, int]]:
+        """``{shard_name: (host, port)}`` for every shard."""
+        if self._attach is not None:
+            return dict(self._attach)
+        return {
+            shard.name: server.address
+            for shard, server in zip(self.spec.shards, self.shard_servers)
+        }
+
+    async def start(self) -> "FleetHandle":
+        """Launch shard servers (unless attaching) and the router."""
+        if self._attach is None:
+            for index, shard in enumerate(self.spec.shards):
+                registry = DatasetRegistry()
+                if self._instances is not None:
+                    registry.register_instance(
+                        shard.instance_name, self._instances[index]
+                    )
+                else:
+                    # persisted shards load from disk: off the event loop
+                    instance = await asyncio.to_thread(load_shard_instance, shard)
+                    registry.register_instance(shard.instance_name, instance)
+                server = JoinServer(
+                    registry,
+                    host=self._host,
+                    port=0,
+                    **self._server_kwargs,
+                )
+                await server.start()
+                self.shard_servers.append(server)
+        self.router = FleetRouter(
+            self.spec,
+            self.shard_addresses,
+            host=self._host,
+            port=self._router_port,
+            **self._router_kwargs,
+        )
+        await self.router.start()
+        return self
+
+    async def stop(self) -> None:
+        """Stop the router first (no new scatters), then the shards."""
+        if self.router is not None:
+            await self.router.stop()
+            self.router = None
+        for server in self.shard_servers:
+            await server.stop()
+        self.shard_servers = []
+
+    async def stop_shard(self, shard_name: str) -> None:
+        """Kill one launched shard server (the in-process chaos lever)."""
+        for shard, server in zip(self.spec.shards, self.shard_servers):
+            if shard.name == shard_name:
+                await server.stop()
+                return
+        raise KeyError(f"unknown or unlaunched shard {shard_name!r}")
+
+    async def __aenter__(self) -> "FleetHandle":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def wait_for_shutdown(self) -> None:
+        """Block until the router receives a ``shutdown`` request."""
+        assert self.router is not None
+        await self.router.wait_for_shutdown()

@@ -1,0 +1,401 @@
+"""Spatial partitioning of problem instances into shard sub-instances.
+
+The fleet's data plane: one :class:`~repro.query.hardness.ProblemInstance`
+is split into ``K`` disjoint tiles covering the workspace, and every
+dataset of every join variable is scattered over those tiles by MBR
+center — each object lands on exactly one shard, so shard answers never
+double-count.  Two tiling methods:
+
+* ``"str"`` (default) — the STR sweep of :mod:`repro.index.bulk` lifted
+  to partitioning: x-center quantiles cut vertical slabs, y-center
+  quantiles cut each slab into rows.  Tiles adapt to the data, so shard
+  object counts stay balanced even on skewed inputs.
+* ``"grid"`` — a regular grid (equal-width columns, equal-height rows),
+  data-independent and therefore reproducible without the data.
+
+Each shard records an *id map* (local object id → global object id) per
+variable, so the router can translate shard-local assignments back into
+the global numbering, and a *cost snapshot*: the [TSS98] analytical node
+accesses (:func:`repro.index.costmodel.predicted_node_accesses`) for an
+average-extent window against each shard tree.  The snapshot is the
+router's routing signal — cheapest predicted shards are contacted first.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..data.datasets import SpatialDataset
+from ..geometry import Rect
+from ..index.costmodel import predicted_node_accesses
+from ..query.hardness import ProblemInstance
+from ..query.io import load_instance, query_from_dict, query_to_dict, save_instance
+
+__all__ = [
+    "ShardSpec",
+    "FleetSpec",
+    "FleetPartition",
+    "partition_instance",
+    "save_partition",
+    "load_fleet",
+    "PARTITION_METHODS",
+]
+
+PARTITION_METHODS = ("str", "grid")
+
+_MANIFEST = "fleet.json"
+_FORMAT = "repro-fleet/1"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: its tile, instance naming, id maps and cost snapshot."""
+
+    name: str
+    tile: Rect
+    #: registered instance name the shard's JoinServer answers for
+    instance_name: str
+    #: objects per variable on this shard
+    counts: tuple[int, ...]
+    #: per variable: local object id -> global object id
+    id_maps: tuple[tuple[int, ...], ...]
+    #: [TSS98] predicted node accesses per variable + their sum (the
+    #: router's routing signal; smaller = cheaper to query)
+    cost_per_variable: tuple[float, ...]
+    cost_total: float
+    #: persisted instance directory (absolute), None for in-memory fleets
+    instance_dir: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "tile": list(self.tile),
+            "instance_name": self.instance_name,
+            "counts": list(self.counts),
+            "id_maps": [list(ids) for ids in self.id_maps],
+            "cost_per_variable": list(self.cost_per_variable),
+            "cost_total": self.cost_total,
+            "instance_dir": self.instance_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardSpec":
+        return cls(
+            name=payload["name"],
+            tile=Rect(*payload["tile"]),
+            instance_name=payload["instance_name"],
+            counts=tuple(payload["counts"]),
+            id_maps=tuple(tuple(ids) for ids in payload["id_maps"]),
+            cost_per_variable=tuple(payload["cost_per_variable"]),
+            cost_total=float(payload["cost_total"]),
+            instance_dir=payload.get("instance_dir"),
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The routable description of one partitioned fleet."""
+
+    name: str
+    method: str
+    workspace: Rect
+    query: dict[str, Any]
+    shards: tuple[ShardSpec, ...]
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.query["num_variables"])
+
+    def query_graph(self) -> Any:
+        return query_from_dict(self.query)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": _FORMAT,
+            "name": self.name,
+            "method": self.method,
+            "workspace": list(self.workspace),
+            "query": self.query,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FleetSpec":
+        if payload.get("format") != _FORMAT:
+            raise ValueError(
+                f"not a fleet manifest (format {payload.get('format')!r}, "
+                f"expected {_FORMAT!r})"
+            )
+        return cls(
+            name=payload["name"],
+            method=payload["method"],
+            workspace=Rect(*payload["workspace"]),
+            query=payload["query"],
+            shards=tuple(ShardSpec.from_dict(s) for s in payload["shards"]),
+        )
+
+
+@dataclass
+class FleetPartition:
+    """A partitioned fleet plus its in-memory shard instances."""
+
+    spec: FleetSpec
+    instances: list[ProblemInstance] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# tiling
+# ----------------------------------------------------------------------
+def _slab_layout(shards: int) -> list[int]:
+    """Rows per vertical slab: ``ceil(sqrt(K))`` slabs, balanced rows."""
+    slabs = math.ceil(math.sqrt(shards))
+    base, extra = divmod(shards, slabs)
+    return [base + 1] * extra + [base] * (slabs - extra)
+
+
+def _quantile_cuts(values: list[float], fractions: Sequence[float]) -> list[float]:
+    """Cut points of sorted ``values`` at the given cumulative fractions."""
+    n = len(values)
+    cuts = []
+    for fraction in fractions:
+        index = min(max(int(round(fraction * n)), 1), n - 1)
+        cuts.append((values[index - 1] + values[index]) / 2.0)
+    return cuts
+
+
+def _str_tiles(
+    centers: list[tuple[float, float]], shards: int, workspace: Rect
+) -> list[Rect]:
+    """Data-adaptive tiles: x-quantile slabs, y-quantile rows per slab."""
+    layout = _slab_layout(shards)
+    xs = sorted(x for x, _ in centers)
+    weights = [sum(layout[:index]) / shards for index in range(1, len(layout))]
+    x_cuts = _quantile_cuts(xs, weights)
+    x_edges = [workspace.xmin, *x_cuts, workspace.xmax]
+    tiles: list[Rect] = []
+    for slab, rows in enumerate(layout):
+        x_lo, x_hi = x_edges[slab], x_edges[slab + 1]
+        in_slab = sorted(
+            y
+            for x, y in centers
+            if (x_lo <= x < x_hi) or (slab == len(layout) - 1 and x >= x_lo)
+        )
+        if in_slab and rows > 1:
+            y_cuts = _quantile_cuts(
+                in_slab, [row / rows for row in range(1, rows)]
+            )
+        else:
+            # degenerate slab: fall back to equal-height rows
+            step = workspace.height / rows
+            y_cuts = [workspace.ymin + step * row for row in range(1, rows)]
+        y_edges = [workspace.ymin, *y_cuts, workspace.ymax]
+        for row in range(rows):
+            tiles.append(Rect(x_lo, y_edges[row], x_hi, y_edges[row + 1]))
+    return tiles
+
+
+def _grid_tiles(shards: int, workspace: Rect) -> list[Rect]:
+    """Data-independent tiles: equal-width columns, equal-height rows."""
+    layout = _slab_layout(shards)
+    step_x = workspace.width / len(layout)
+    tiles: list[Rect] = []
+    for slab, rows in enumerate(layout):
+        x_lo = workspace.xmin + step_x * slab
+        x_hi = workspace.xmax if slab == len(layout) - 1 else x_lo + step_x
+        step_y = workspace.height / rows
+        for row in range(rows):
+            y_lo = workspace.ymin + step_y * row
+            y_hi = workspace.ymax if row == rows - 1 else y_lo + step_y
+            tiles.append(Rect(x_lo, y_lo, x_hi, y_hi))
+    return tiles
+
+
+def _tile_of(tiles: list[Rect], x_edges: list[float], row_offsets: list[int],
+             y_edge_lists: list[list[float]], x: float, y: float) -> int:
+    """Index of the unique tile owning center ``(x, y)``."""
+    slab = min(bisect_right(x_edges, x) - 1, len(row_offsets) - 1)
+    slab = max(slab, 0)
+    y_edges = y_edge_lists[slab]
+    row = min(bisect_right(y_edges, y) - 1, len(y_edges) - 2)
+    row = max(row, 0)
+    return row_offsets[slab] + row
+
+
+def _edge_structures(
+    tiles: list[Rect], layout: list[int]
+) -> tuple[list[float], list[int], list[list[float]]]:
+    """Recover slab/row edge lists from the tile list for point lookup."""
+    row_offsets = [sum(layout[:index]) for index in range(len(layout))]
+    x_edges = [tiles[offset].xmin for offset in row_offsets]
+    y_edge_lists = []
+    for slab, rows in enumerate(layout):
+        offset = row_offsets[slab]
+        edges = [tiles[offset + row].ymin for row in range(rows)]
+        edges.append(tiles[offset + rows - 1].ymax)
+        y_edge_lists.append(edges)
+    return x_edges, row_offsets, y_edge_lists
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+def partition_instance(
+    instance: ProblemInstance,
+    shards: int,
+    *,
+    method: str = "str",
+    name: str = "fleet",
+) -> FleetPartition:
+    """Split ``instance`` into ``shards`` spatial sub-instances.
+
+    Every object is assigned to exactly one tile by MBR center; a shard
+    whose sub-dataset would be empty for any variable raises ``ValueError``
+    (lower the shard count or use more data).
+    """
+    if shards < 2:
+        raise ValueError(f"a fleet needs >= 2 shards, got {shards}")
+    if method not in PARTITION_METHODS:
+        raise ValueError(
+            f"unknown partition method {method!r}; known: {PARTITION_METHODS}"
+        )
+    workspace = instance.datasets[0].workspace
+    layout = _slab_layout(shards)
+    if method == "grid":
+        tiles = _grid_tiles(shards, workspace)
+    else:
+        centers = [
+            rect.center()
+            for dataset in instance.datasets
+            for rect in dataset.rects
+        ]
+        tiles = _str_tiles(centers, shards, workspace)
+    x_edges, row_offsets, y_edge_lists = _edge_structures(tiles, layout)
+
+    num_variables = instance.query.num_variables
+    # per shard, per variable: (rects, global ids)
+    rects: list[list[list[Rect]]] = [
+        [[] for _ in range(num_variables)] for _ in range(shards)
+    ]
+    id_maps: list[list[list[int]]] = [
+        [[] for _ in range(num_variables)] for _ in range(shards)
+    ]
+    for variable, dataset in enumerate(instance.datasets):
+        for object_id, rect in enumerate(dataset.rects):
+            x, y = rect.center()
+            shard = _tile_of(tiles, x_edges, row_offsets, y_edge_lists, x, y)
+            rects[shard][variable].append(rect)
+            id_maps[shard][variable].append(object_id)
+
+    shard_specs: list[ShardSpec] = []
+    shard_instances: list[ProblemInstance] = []
+    for shard in range(shards):
+        shard_name = f"{name}-shard-{shard}"
+        for variable in range(num_variables):
+            if not rects[shard][variable]:
+                raise ValueError(
+                    f"shard {shard} holds no objects of variable {variable}; "
+                    f"use fewer shards or more data"
+                )
+        datasets = [
+            SpatialDataset(
+                rects[shard][variable],
+                name=f"{shard_name}-D{variable}",
+                workspace=instance.datasets[variable].workspace,
+            )
+            for variable in range(num_variables)
+        ]
+        costs = tuple(
+            predicted_node_accesses(
+                dataset.tree, dataset.average_extent(), dataset.average_extent()
+            )
+            for dataset in datasets
+        )
+        shard_specs.append(
+            ShardSpec(
+                name=shard_name,
+                tile=tiles[shard],
+                instance_name=shard_name,
+                counts=tuple(len(dataset) for dataset in datasets),
+                id_maps=tuple(tuple(ids) for ids in id_maps[shard]),
+                cost_per_variable=costs,
+                cost_total=sum(costs),
+            )
+        )
+        shard_instances.append(
+            ProblemInstance(
+                query=instance.query,
+                datasets=datasets,
+                density=instance.density,
+                metadata={"fleet": name, "shard": shard, "tile": list(tiles[shard])},
+            )
+        )
+    spec = FleetSpec(
+        name=name,
+        method=method,
+        workspace=workspace,
+        query=query_to_dict(instance.query),
+        shards=tuple(shard_specs),
+    )
+    return FleetPartition(spec=spec, instances=shard_instances)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def save_partition(partition: FleetPartition, directory: str | Path) -> Path:
+    """Persist every shard instance plus the fleet manifest; returns it."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shards = []
+    for index, (shard, instance) in enumerate(
+        zip(partition.spec.shards, partition.instances)
+    ):
+        shard_dir = directory / f"shard-{index}"
+        save_instance(instance, shard_dir)
+        payload = shard.to_dict()
+        payload["instance_dir"] = f"shard-{index}"
+        shards.append(ShardSpec.from_dict(payload))
+    spec = FleetSpec(
+        name=partition.spec.name,
+        method=partition.spec.method,
+        workspace=partition.spec.workspace,
+        query=partition.spec.query,
+        shards=tuple(shards),
+    )
+    manifest = directory / _MANIFEST
+    manifest.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return manifest
+
+
+def load_fleet(path: str | Path) -> FleetSpec:
+    """Load a fleet manifest; shard ``instance_dir`` paths become absolute."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / _MANIFEST
+    spec = FleetSpec.from_dict(json.loads(path.read_text()))
+    shards = []
+    for shard in spec.shards:
+        if shard.instance_dir is not None:
+            payload = shard.to_dict()
+            payload["instance_dir"] = str((path.parent / shard.instance_dir).resolve())
+            shard = ShardSpec.from_dict(payload)
+        shards.append(shard)
+    return FleetSpec(
+        name=spec.name,
+        method=spec.method,
+        workspace=spec.workspace,
+        query=spec.query,
+        shards=tuple(shards),
+    )
+
+
+def load_shard_instance(shard: ShardSpec) -> ProblemInstance:
+    """Load one shard's persisted instance (requires ``instance_dir``)."""
+    if shard.instance_dir is None:
+        raise ValueError(f"shard {shard.name} has no persisted instance directory")
+    return load_instance(shard.instance_dir)

@@ -1,0 +1,685 @@
+"""The fleet router: cost-planned scatter/merge over per-shard servers.
+
+:class:`FleetRouter` speaks the exact JSON-lines protocol of
+:class:`~repro.service.server.JoinServer`, so every existing client —
+``JoinClient``, ``AsyncJoinClient``, the CLI ``query``/``chaos``
+commands — talks to a fleet without changes.  One solve request flows:
+
+1. **Plan** — rank healthy shards by their [TSS98] cost snapshot
+   (:attr:`~repro.fleet.partition.ShardSpec.cost_total`), biased by
+   current in-flight load so equal-cost shards round-robin.  An optional
+   ``fanout`` request field caps how many shards are contacted.
+2. **Scatter** — one concurrent sub-query per planned shard through a
+   fresh :class:`~repro.service.client.AsyncJoinClient` (connections are
+   sequential request/response, so they are never shared).  Each
+   sub-query gets a slice of the admission ticket's remaining deadline
+   and an even share of the iteration budget; each dispatch crosses the
+   :data:`~repro.faults.SITE_FLEET_DISPATCH` fault site, so chaos plans
+   can kill shards deterministically.
+3. **Merge** — best partial solution by (violations, -similarity), shard
+   answers translated from shard-local to global object ids through the
+   partition id maps.  Exactness follows the strictest reading: the
+   merged answer is ``exact`` only when every shard was contacted and
+   every one answered ``exact``.  Any lost shard *degrades* the answer
+   to ``approximate`` — a structured response, never a drop.  Only when
+   **every** contacted shard is lost does the router return the
+   retryable ``shard_unavailable`` error.
+
+Shard health is tracked per fleet: a transport failure (or injected
+dispatch fault) marks the shard down, planning skips down shards, and a
+background ping probe brings them back — the first merged answer a
+returning shard contributes is flagged ``recovered``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any
+
+from ..core.budget import Stopwatch
+from ..faults import (
+    SITE_FLEET_DISPATCH,
+    FaultPlan,
+    InjectedCrash,
+    InjectedError,
+    activate_plan,
+    fault_point,
+)
+from ..obs import current
+from ..service.admission import AdmissionController
+from ..service.cache import CacheEntry, SolutionCache, canonical_query_key, solve_cache_key
+from ..service.client import AsyncJoinClient
+from ..service.errors import classify_exception
+from ..service.protocol import (
+    PROTOCOL_VERSION,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from .partition import FleetSpec
+
+__all__ = ["FleetRouter", "SCATTER_FRACTION", "FLEET_GRACE_SECONDS", "PROBE_TIMEOUT"]
+
+#: share of the admission ticket's remaining deadline granted to shard
+#: sub-queries; the held-back remainder covers transport + merge so the
+#: router answers *within* the global deadline instead of at it
+SCATTER_FRACTION = 0.85
+
+#: seconds past a sub-query's deadline before the router abandons the
+#: shard (anytime solvers return at the deadline; a shard further out
+#: than this is wedged or gone)
+FLEET_GRACE_SECONDS = 5.0
+
+#: seconds a health probe waits before declaring the shard still down
+PROBE_TIMEOUT = 1.0
+
+
+class FleetRouter:
+    """JSON-lines router scattering solves across per-shard JoinServers.
+
+    Parameters
+    ----------
+    spec:
+        The fleet manifest: shard tiles, cost snapshots and id maps.
+    endpoints:
+        ``{shard_name: (host, port)}`` for every shard in ``spec``.
+    host / port:
+        Router listening address; port ``0`` picks a free one.
+    max_pending / default_deadline / max_deadline:
+        Admission policy, same semantics as the single server.
+    cache_capacity / cache_ttl:
+        Merged-solution cache; only full-coverage, non-degraded answers
+        are cached (a degraded answer must not shadow a complete one).
+    fault_plan:
+        Optional chaos plan activated in the router process — the
+        :data:`SITE_FLEET_DISPATCH` site lives here.
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        endpoints: dict[str, tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 16,
+        default_deadline: float = 5.0,
+        max_deadline: float = 60.0,
+        cache_capacity: int = 256,
+        cache_ttl: float | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        missing = [s.name for s in spec.shards if s.name not in endpoints]
+        if missing:
+            raise ValueError(f"no endpoint for shards {missing}")
+        self.spec = spec
+        self.endpoints = dict(endpoints)
+        self._host = host
+        self._port = port
+        self.admission = AdmissionController(
+            max_pending=max_pending,
+            default_deadline=default_deadline,
+            max_deadline=max_deadline,
+        )
+        self.cache: SolutionCache | None = (
+            SolutionCache(capacity=cache_capacity, ttl=cache_ttl)
+            if cache_capacity > 0
+            else None
+        )
+        self.fault_plan = fault_plan if (fault_plan is not None and fault_plan) else None
+        self._query = spec.query_graph()
+        self._labels = [
+            f"{spec.name}/{index}" for index in range(self._query.num_variables)
+        ]
+        self._shards = {shard.name: shard for shard in spec.shards}
+        self.requests_total = 0
+        self.errors_total = 0
+        self.degraded_total = 0
+        #: monotonic dispatch counter — the ``fleet.dispatch`` fault index
+        self._dispatches = 0
+        #: shards currently considered unreachable
+        self._down: set[str] = set()
+        #: shards that came back up and owe a ``recovered`` flag
+        self._recovered_pending: set[str] = set()
+        #: in-flight sub-queries per shard (the load bias in planning)
+        self._inflight: dict[str, int] = {name: 0 for name in self._shards}
+        self._per_shard: dict[str, dict[str, int]] = {
+            name: {"dispatched": 0, "answered": 0, "lost": 0}
+            for name in self._shards
+        }
+        self._probes: dict[str, asyncio.Task[None]] = {}
+        self._previous_plan: FaultPlan | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._connections: set[asyncio.Task[None]] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        return self._host, self._port
+
+    async def start(self) -> None:
+        self._previous_plan = activate_plan(self.fault_plan)
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self._port = sockets[0].getsockname()[1]
+        current().gauge("fleet.shards.healthy").set(len(self._shards))
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        for probe in list(self._probes.values()):
+            probe.cancel()
+        if self._probes:
+            await asyncio.gather(*self._probes.values(), return_exceptions=True)
+        self._probes.clear()
+        if self.fault_plan is not None:
+            activate_plan(self._previous_plan)
+            self._previous_plan = None
+
+    async def wait_for_shutdown(self) -> None:
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+
+    async def serve_until_shutdown(self) -> None:
+        await self.start()
+        try:
+            await self.wait_for_shutdown()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling (same skeleton as JoinServer)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.CancelledError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                payload = json.dumps(response, sort_keys=True) + "\n"
+                try:
+                    writer.write(payload.encode("utf-8"))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+        """One request line → one response record (never raises)."""
+        obs = current()
+        stopwatch = Stopwatch()
+        self.requests_total += 1
+        obs.counter("fleet.requests").inc()
+        request_id, op = "?", "?"
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            response = error_response(request_id, op, "bad_request", f"invalid JSON: {error}")
+            self._finish(obs, op, response, stopwatch)
+            return response
+        if isinstance(record, dict):
+            raw_id, raw_op = record.get("id"), record.get("op")
+            request_id = raw_id if isinstance(raw_id, str) else "?"
+            op = raw_op if isinstance(raw_op, str) else "?"
+        try:
+            validate_request(record)
+        except ValueError as error:
+            response = error_response(request_id, op, "bad_request", str(error))
+            self._finish(obs, op, response, stopwatch)
+            return response
+        if self._shutdown is not None and self._shutdown.is_set():
+            response = error_response(request_id, op, "shutting_down", "router is draining")
+            self._finish(obs, op, response, stopwatch)
+            return response
+        try:
+            response = await self._dispatch(record, request_id, op)
+        except Exception as error:  # noqa: BLE001 - connection must survive
+            classified = classify_exception(error)
+            response = error_response(request_id, op, classified.code, classified.message)
+        self._finish(obs, op, response, stopwatch)
+        return response
+
+    def _finish(
+        self, obs: Any, op: str, response: dict[str, Any], stopwatch: Stopwatch
+    ) -> None:
+        status = response.get("status", "error")
+        if status != "ok":
+            self.errors_total += 1
+        elapsed = stopwatch.elapsed()
+        obs.histogram("fleet.latency").observe(elapsed)
+        obs.event("request", op=op, status=str(status), elapsed=elapsed)
+
+    async def _dispatch(
+        self, record: dict[str, Any], request_id: str, op: str
+    ) -> dict[str, Any]:
+        if op == "ping":
+            return ok_response(
+                request_id,
+                op,
+                version=PROTOCOL_VERSION,
+                role="fleet-router",
+                fleet=self.spec.name,
+                shards=len(self._shards),
+            )
+        if op == "datasets":
+            return ok_response(
+                request_id,
+                op,
+                datasets=[],
+                instances=[self.spec.name],
+                shards={
+                    shard.name: shard.instance_name for shard in self.spec.shards
+                },
+            )
+        if op == "stats":
+            return ok_response(request_id, op, **self.stats())
+        if op == "register":
+            return error_response(
+                request_id,
+                op,
+                "bad_request",
+                "a fleet's topology is fixed at partition time; "
+                "register datasets on the shards and re-partition",
+            )
+        if op == "shutdown":
+            assert self._shutdown is not None
+            self._shutdown.set()
+            return ok_response(request_id, op, stopping=True)
+        assert op == "solve"
+        return await self._handle_solve(record, request_id)
+
+    def stats(self) -> dict[str, Any]:
+        """Live router counters for the ``stats`` op (and tests)."""
+        return {
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "admission": self.admission.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "fleet": {
+                "name": self.spec.name,
+                "method": self.spec.method,
+                "degraded_total": self.degraded_total,
+                "shards": [
+                    {
+                        "name": shard.name,
+                        "endpoint": list(self.endpoints[shard.name]),
+                        "healthy": shard.name not in self._down,
+                        "cost": shard.cost_total,
+                        "objects": sum(shard.counts),
+                        **self._per_shard[shard.name],
+                    }
+                    for shard in self.spec.shards
+                ],
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # solve: plan → scatter → merge
+    # ------------------------------------------------------------------
+    def _plan(self, fanout: int | None) -> list[str]:
+        """Shard names to contact, cheapest predicted cost first.
+
+        Down shards are skipped (each skip schedules a recovery probe);
+        if *every* shard is down the router optimistically tries them
+        all — liveness must not wait for a probe cycle.  The cost bias
+        ``cost·(1 + inflight)`` spreads concurrent load over equal-cost
+        shards, which is what makes small-fanout routing scale.
+        """
+        healthy = [name for name in self._shards if name not in self._down]
+        for name in self._down:
+            self._schedule_probe(name)
+        candidates = healthy if healthy else list(self._shards)
+        candidates.sort(
+            key=lambda name: (
+                self._shards[name].cost_total * (1.0 + self._inflight[name]),
+                name,
+            )
+        )
+        if fanout is not None:
+            candidates = candidates[:fanout]
+        return candidates
+
+    def _schedule_probe(self, shard_name: str) -> None:
+        if shard_name in self._probes:
+            return
+        task = asyncio.create_task(self._probe(shard_name))
+        self._probes[shard_name] = task
+        task.add_done_callback(lambda _: self._probes.pop(shard_name, None))
+
+    async def _probe(self, shard_name: str) -> None:
+        """Ping a down shard; on success it rejoins the healthy set."""
+        host, port = self.endpoints[shard_name]
+        try:
+            client = await asyncio.wait_for(
+                AsyncJoinClient.connect(host, port), timeout=PROBE_TIMEOUT
+            )
+            try:
+                await asyncio.wait_for(client.ping(), timeout=PROBE_TIMEOUT)
+            finally:
+                await client.close()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return
+        if shard_name in self._down:
+            self._down.discard(shard_name)
+            self._recovered_pending.add(shard_name)
+            obs = current()
+            obs.counter("fleet.shard.recovered").inc()
+            obs.gauge("fleet.shards.healthy").set(
+                len(self._shards) - len(self._down)
+            )
+
+    async def _sub_solve(
+        self, shard_name: str, fields: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One sub-query over a fresh connection (sequential protocol)."""
+        host, port = self.endpoints[shard_name]
+        client = await AsyncJoinClient.connect(host, port)
+        try:
+            record = {
+                "v": PROTOCOL_VERSION,
+                "op": "solve",
+                "id": f"{shard_name}-{self._dispatches}",
+                **fields,
+            }
+            return await client.request(record)
+        finally:
+            await client.close()
+
+    async def _dispatch_shard(
+        self, shard_name: str, fields: dict[str, Any], sub_deadline: float
+    ) -> dict[str, Any]:
+        """Scatter leg: returns ``{"shard", "status", ...}``, never raises."""
+        index = self._dispatches
+        self._dispatches += 1
+        self._per_shard[shard_name]["dispatched"] += 1
+        try:
+            fault_point(SITE_FLEET_DISPATCH, index=index)
+        except (InjectedCrash, InjectedError) as error:
+            return {"shard": shard_name, "status": "lost", "reason": str(error)}
+        self._inflight[shard_name] += 1
+        try:
+            response = await asyncio.wait_for(
+                self._sub_solve(shard_name, fields),
+                timeout=sub_deadline + FLEET_GRACE_SECONDS,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+            return {
+                "shard": shard_name,
+                "status": "lost",
+                "reason": f"{type(error).__name__}: {error}",
+            }
+        finally:
+            self._inflight[shard_name] -= 1
+        if response.get("status") != "ok":
+            error = response.get("error", {})
+            return {
+                "shard": shard_name,
+                "status": "failed",
+                "reason": f"{error.get('code')}: {error.get('message')}",
+            }
+        self._per_shard[shard_name]["answered"] += 1
+        return {"shard": shard_name, "status": "ok", "response": response}
+
+    def _note_outcomes(self, outcomes: list[dict[str, Any]]) -> None:
+        """Update health from scatter outcomes (lost ⇒ down, ok ⇒ up)."""
+        obs = current()
+        for outcome in outcomes:
+            name = outcome["shard"]
+            if outcome["status"] == "lost":
+                self._per_shard[name]["lost"] += 1
+                obs.counter("fleet.shard.lost").inc()
+                self._down.add(name)
+            elif outcome["status"] == "ok":
+                self._down.discard(name)
+        obs.gauge("fleet.shards.healthy").set(len(self._shards) - len(self._down))
+
+    async def _handle_solve(
+        self, record: dict[str, Any], request_id: str
+    ) -> dict[str, Any]:
+        obs = current()
+        if record.get("instance") != self.spec.name:
+            return error_response(
+                request_id,
+                "solve",
+                "unknown_dataset",
+                f"this router serves instance {self.spec.name!r}; "
+                "per-dataset queries go to the shards directly",
+            )
+        fanout = record.get("fanout")
+        if fanout is not None and (not isinstance(fanout, int) or fanout < 1):
+            return error_response(
+                request_id, "solve", "bad_request", f"fanout must be >= 1, got {fanout!r}"
+            )
+        algorithm = record.get("algorithm")
+        seed = record.get("seed", 0)
+        restarts = record.get("restarts", 1)
+        max_iterations = record.get("max_iterations")
+        deadline = self.admission.clamp_deadline(record.get("deadline"))
+        use_cache = bool(record.get("cache", True)) and self.cache is not None
+
+        cache_key: str | None = None
+        signature = ""
+        order: tuple[int, ...] = tuple(range(self._query.num_variables))
+        if use_cache:
+            signature, order = canonical_query_key(self._query, self._labels)
+            cache_key = solve_cache_key(
+                signature, algorithm or "fleet", seed, restarts, deadline, max_iterations
+            )
+            assert self.cache is not None
+            entry = self.cache.get(cache_key)
+            if entry is not None:
+                obs.counter("fleet.cache.hit").inc()
+                return ok_response(
+                    request_id,
+                    "solve",
+                    cached=True,
+                    assignment=entry.assignment_for(order),
+                    violations=entry.violations,
+                    similarity=entry.similarity,
+                    exact=entry.violations == 0,
+                    approximate=entry.violations != 0,
+                    iterations=entry.iterations,
+                    elapsed=entry.elapsed,
+                    algorithm=entry.algorithm,
+                    seed=seed,
+                    restarts=restarts,
+                    recovered=False,
+                    fleet={"shards": len(self._shards), "cached": True},
+                )
+            obs.counter("fleet.cache.miss").inc()
+
+        ticket = self.admission.try_admit(deadline)
+        if ticket is None:
+            obs.counter("fleet.shed").inc()
+            return error_response(
+                request_id,
+                "solve",
+                "overloaded",
+                f"{self.admission.pending} requests already in flight; retry later",
+            )
+        try:
+            plan = self._plan(fanout)
+            # degradation tracks *involuntary* coverage loss: shards
+            # skipped because they are down.  A client-chosen fanout cap
+            # merely limits coverage (answer approximate, not degraded).
+            skipped = [name for name in self._down if name not in plan]
+            sub_deadline = max(0.02, ticket.remaining() * SCATTER_FRACTION)
+            # the iteration budget is split evenly: N shards each search
+            # their tile with budget/N, so total work matches a single
+            # server while the wall-clock shrinks with the fan-out
+            sub_iterations = (
+                math.ceil(max_iterations / len(plan))
+                if max_iterations is not None
+                else None
+            )
+            fields: dict[str, Any] = {
+                "deadline": sub_deadline,
+                "seed": seed,
+                "restarts": restarts,
+                "cache": bool(record.get("cache", True)),
+            }
+            if algorithm is not None:
+                fields["algorithm"] = algorithm
+            if sub_iterations is not None:
+                fields["max_iterations"] = sub_iterations
+            outcomes = await asyncio.gather(
+                *(
+                    self._dispatch_shard(
+                        name,
+                        {**fields, "instance": self._shards[name].instance_name},
+                        sub_deadline,
+                    )
+                    for name in plan
+                )
+            )
+        finally:
+            self.admission.release(ticket)
+        self._note_outcomes(list(outcomes))
+        with obs.span("fleet.merge"):
+            response = self._merge(
+                request_id,
+                list(outcomes),
+                skipped=skipped,
+                order=order,
+                seed=seed,
+                restarts=restarts,
+                use_cache=use_cache,
+                cache_key=cache_key,
+                signature=signature,
+            )
+        return response
+
+    def _merge(
+        self,
+        request_id: str,
+        outcomes: list[dict[str, Any]],
+        *,
+        skipped: list[str],
+        order: tuple[int, ...],
+        seed: int,
+        restarts: int,
+        use_cache: bool,
+        cache_key: str | None,
+        signature: str,
+    ) -> dict[str, Any]:
+        """Fold shard partials into one global answer (pure, no awaits)."""
+        obs = current()
+        answered = [o for o in outcomes if o["status"] == "ok"]
+        lost = [o for o in outcomes if o["status"] == "lost"]
+        failed = [o for o in outcomes if o["status"] == "failed"]
+        if not answered:
+            reasons = "; ".join(
+                f"{o['shard']}: {o.get('reason', '?')}" for o in lost + failed
+            ) or "no shards contacted"
+            return error_response(
+                request_id,
+                "solve",
+                "shard_unavailable",
+                f"every contacted shard was lost ({reasons})",
+            )
+        best = min(
+            answered,
+            key=lambda o: (
+                o["response"]["violations"],
+                -o["response"]["similarity"],
+                o["shard"],
+            ),
+        )
+        winner = self._shards[best["shard"]]
+        sub = best["response"]
+        # shard-local object ids → global ids through the partition maps
+        assignment = [
+            winner.id_maps[variable][local]
+            for variable, local in enumerate(sub["assignment"])
+        ]
+        # a shard lost mid-request or skipped-as-down degrades the
+        # answer; a fanout the *client* chose merely caps coverage
+        degraded = bool(lost) or bool(failed) or bool(skipped)
+        covered_all = len(answered) == len(self._shards)
+        exact = covered_all and all(o["response"]["exact"] for o in answered)
+        if degraded:
+            self.degraded_total += 1
+            obs.counter("fleet.degraded").inc()
+        recovered_shards = [
+            o["shard"] for o in answered if o["shard"] in self._recovered_pending
+        ]
+        for name in recovered_shards:
+            self._recovered_pending.discard(name)
+        if use_cache and cache_key is not None and covered_all and not degraded:
+            assert self.cache is not None
+            self.cache.put(
+                cache_key,
+                CacheEntry.from_result(
+                    assignment=assignment,
+                    order=order,
+                    violations=sub["violations"],
+                    similarity=sub["similarity"],
+                    iterations=sum(o["response"]["iterations"] for o in answered),
+                    elapsed=max(o["response"]["elapsed"] for o in answered),
+                    algorithm=sub["algorithm"],
+                    signature=signature,
+                ),
+            )
+        return ok_response(
+            request_id,
+            "solve",
+            cached=False,
+            assignment=assignment,
+            violations=sub["violations"],
+            similarity=sub["similarity"],
+            exact=exact,
+            approximate=not exact,
+            iterations=sum(o["response"]["iterations"] for o in answered),
+            elapsed=max(o["response"]["elapsed"] for o in answered),
+            algorithm=sub["algorithm"],
+            seed=seed,
+            restarts=restarts,
+            recovered=bool(recovered_shards) or bool(sub.get("recovered")),
+            fleet={
+                "shards": len(self._shards),
+                "shard": best["shard"],
+                "planned": [o["shard"] for o in outcomes],
+                "answered": [o["shard"] for o in answered],
+                "lost": [o["shard"] for o in lost],
+                "failed": [o["shard"] for o in failed],
+                "skipped": skipped,
+                "degraded": degraded,
+            },
+        )

@@ -40,6 +40,7 @@ from .events import (
     EventSink,
     JsonlSink,
     MemorySink,
+    merge_trace_files,
     read_trace,
     validate_event,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "EventSink",
     "MemorySink",
     "JsonlSink",
+    "merge_trace_files",
     "read_trace",
     "validate_event",
     "MetricsRegistry",

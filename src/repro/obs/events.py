@@ -26,6 +26,7 @@ __all__ = [
     "JsonlSink",
     "validate_event",
     "read_trace",
+    "merge_trace_files",
 ]
 
 #: bump when the record layout changes incompatibly
@@ -179,6 +180,34 @@ def read_trace(path: str, validate: bool = True) -> list[dict[str, Any]]:
                     raise ValueError(f"{path}:{line_number}: {error}") from None
             records.append(record)
     return records
+
+
+def merge_trace_files(
+    paths: Iterable[str], validate: bool = True
+) -> list[dict[str, Any]]:
+    """Read several trace files into one record list, tagged per source.
+
+    Each record gains a ``source`` field naming the file it came from
+    (basename when unambiguous, the full path otherwise), so a merged
+    fleet trace — router plus every shard — can still be sliced per
+    process.  ``validate_event`` tolerates extra fields, so tagged
+    records remain schema-valid.  Records are ordered by timestamp so
+    interleaved multi-process activity reads chronologically.
+    """
+    paths = list(paths)
+    basenames = [path.replace("\\", "/").rsplit("/", 1)[-1] for path in paths]
+    labels = [
+        basename if basenames.count(basename) == 1 else path
+        for path, basename in zip(paths, basenames)
+    ]
+    merged: list[dict[str, Any]] = []
+    for path, label in zip(paths, labels):
+        for record in read_trace(path, validate=validate):
+            tagged = dict(record)
+            tagged.setdefault("source", label)
+            merged.append(tagged)
+    merged.sort(key=lambda record: record.get("ts", 0.0))
+    return merged
 
 
 def dump_records(records: Iterable[dict[str, Any]], path: str) -> None:

@@ -49,6 +49,10 @@ SPAN_NAMES = frozenset(
         # warm plane: shared-memory publish / attach
         "warm.publish",
         "warm.attach",
+        # fleet router: the synchronous merge of shard partial solutions
+        # (the scatter itself is traced via ``fleet.*`` counters — async
+        # interleaving would garble span nesting)
+        "fleet.merge",
     }
 )
 
@@ -112,6 +116,16 @@ METRIC_NAMES = frozenset(
         "faults.rebuilds",
         "faults.recovered_members",
         "faults.lost_members",
+        # fleet router: scatter/merge across per-shard JoinServers
+        "fleet.requests",
+        "fleet.shed",
+        "fleet.degraded",
+        "fleet.cache.hit",
+        "fleet.cache.miss",
+        "fleet.shard.lost",
+        "fleet.shard.recovered",
+        "fleet.shards.healthy",
+        "fleet.latency",
     }
 )
 

@@ -55,6 +55,7 @@ ERROR_CODES: dict[str, bool] = {
     "timeout": True,           # worker exceeded deadline + grace (wedged)
     "internal": False,         # a genuine bug; retrying would hit it again
     "shutting_down": False,    # server is draining; connect elsewhere
+    "shard_unavailable": True,  # every contacted fleet shard was lost
 }
 
 _FieldSpec = dict[str, tuple[type, ...]]

@@ -1,5 +1,6 @@
 """[TSS98] R-tree cost model: prediction vs measurement."""
 
+import functools
 import random
 import statistics
 
@@ -17,6 +18,12 @@ def uniform_tree(count, seed=0, extent=0.01, max_entries=16):
         for index in range(count)
     ]
     return bulk_load(entries, max_entries=max_entries)
+
+
+@functools.lru_cache(maxsize=None)
+def _shared_uniform_tree(count, seed=0):
+    """One tree per size, shared across the parametrized prediction grid."""
+    return uniform_tree(count, seed=seed)
 
 
 class TestLevelStats:
@@ -58,12 +65,17 @@ class TestPrediction:
         large = predicted_node_accesses(tree, 0.3, 0.3)
         assert large > small > 1.0
 
+    # the fleet router routes by these predictions, so they must track
+    # reality across BOTH axes that vary between shards: tree size
+    # (shards hold different object counts) and window selectivity
+    # (shards see different average extents)
+    @pytest.mark.parametrize("tree_size", [800, 5_000, 12_000])
     @pytest.mark.parametrize("window_side", [0.02, 0.1, 0.3])
-    def test_prediction_close_to_measurement(self, window_side):
+    def test_prediction_close_to_measurement(self, tree_size, window_side):
         """Average measured node reads over many uniform windows must land
         within 35% of the analytical prediction (uniform data is exactly
         the model's assumption; the residual error is boundary effects)."""
-        tree = uniform_tree(5_000, seed=3)
+        tree = _shared_uniform_tree(tree_size, seed=3)
         rng = random.Random(7)
         measurements = []
         for _ in range(300):
@@ -77,3 +89,18 @@ class TestPrediction:
             tree, window_side, window_side, workspace=Rect(0, 0, 1, 1)
         )
         assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_prediction_ranks_tree_sizes(self):
+        """The routing signal must order trees by size at fixed window:
+        a shard holding more objects must predict at least as many node
+        accesses — otherwise cheapest-first planning inverts the load."""
+        window = 0.1
+        costs = [
+            predicted_node_accesses(
+                _shared_uniform_tree(size, seed=3), window, window,
+                workspace=Rect(0, 0, 1, 1),
+            )
+            for size in (800, 5_000, 12_000)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]

@@ -1,0 +1,549 @@
+"""Fleet subsystem: partitioning, routing, merge semantics, chaos."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro import QueryGraph, hard_instance
+from repro.faults import SITE_FLEET_DISPATCH, FaultPlan, FaultSpec
+from repro.fleet import (
+    FleetHandle,
+    FleetSpec,
+    load_fleet,
+    partition_instance,
+    save_partition,
+)
+from repro.service import JoinClient
+from repro.service.client import ServiceError
+from repro.service.protocol import ERROR_CODES, PROTOCOL_VERSION
+
+
+def chain_instance(cardinality=200, seed=1, variables=3):
+    return hard_instance(
+        QueryGraph.chain(variables), cardinality=cardinality, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+class TestPartition:
+    @pytest.mark.parametrize("method", ["str", "grid"])
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_tiles_are_disjoint_and_cover_workspace(self, method, shards):
+        instance = chain_instance()
+        partition = partition_instance(
+            instance, shards, method=method, name="p"
+        )
+        tiles = [shard.tile for shard in partition.spec.shards]
+        workspace = instance.datasets[0].workspace
+        assert sum(tile.area() for tile in tiles) == pytest.approx(
+            workspace.area()
+        )
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1:]:
+                overlap_x = min(a.xmax, b.xmax) - max(a.xmin, b.xmin)
+                overlap_y = min(a.ymax, b.ymax) - max(a.ymin, b.ymin)
+                assert min(overlap_x, overlap_y) <= 1e-12
+
+    @pytest.mark.parametrize("method", ["str", "grid"])
+    def test_every_object_lands_on_exactly_one_shard(self, method):
+        instance = chain_instance()
+        partition = partition_instance(instance, 3, method=method, name="p")
+        for variable, dataset in enumerate(instance.datasets):
+            seen = sorted(
+                global_id
+                for shard in partition.spec.shards
+                for global_id in shard.id_maps[variable]
+            )
+            assert seen == list(range(len(dataset)))
+
+    def test_str_tiling_balances_skewed_data(self):
+        # all mass in one corner: the grid would starve three tiles, the
+        # STR quantile cuts must still spread objects evenly
+        instance = chain_instance(cardinality=400, seed=9)
+        partition = partition_instance(instance, 4, method="str", name="p")
+        counts = [sum(shard.counts) for shard in partition.spec.shards]
+        assert max(counts) <= 2 * min(counts)
+
+    def test_shard_instances_preserve_rects(self):
+        instance = chain_instance()
+        partition = partition_instance(instance, 2, name="p")
+        shard = partition.spec.shards[0]
+        shard_instance = partition.instances[0]
+        for variable in range(instance.query.num_variables):
+            for local_id, global_id in enumerate(shard.id_maps[variable]):
+                assert (
+                    shard_instance.datasets[variable].rects[local_id]
+                    == instance.datasets[variable].rects[global_id]
+                )
+
+    def test_cost_snapshot_positive_and_additive(self):
+        partition = partition_instance(chain_instance(), 2, name="p")
+        for shard in partition.spec.shards:
+            assert all(cost >= 1.0 for cost in shard.cost_per_variable)
+            assert shard.cost_total == pytest.approx(
+                sum(shard.cost_per_variable)
+            )
+
+    def test_too_many_shards_raises(self):
+        with pytest.raises(ValueError, match="no objects"):
+            partition_instance(chain_instance(cardinality=12), 16, name="p")
+
+    def test_single_shard_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 shards"):
+            partition_instance(chain_instance(), 1)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition method"):
+            partition_instance(chain_instance(), 2, method="hilbert")
+
+    def test_manifest_round_trip(self, tmp_path):
+        partition = partition_instance(chain_instance(), 2, name="rt")
+        manifest = save_partition(partition, tmp_path / "fleet")
+        spec = load_fleet(manifest)
+        assert spec.name == "rt"
+        assert [s.name for s in spec.shards] == [
+            s.name for s in partition.spec.shards
+        ]
+        assert [s.id_maps for s in spec.shards] == [
+            s.id_maps for s in partition.spec.shards
+        ]
+        # persisted shard dirs resolve and reload
+        from repro.fleet.partition import load_shard_instance
+
+        reloaded = load_shard_instance(spec.shards[0])
+        assert reloaded.query.num_variables == 3
+        assert len(reloaded.datasets[0]) == spec.shards[0].counts[0]
+        # the manifest itself is valid JSON with a format marker
+        payload = json.loads(manifest.read_text())
+        assert payload["format"] == "repro-fleet/1"
+        FleetSpec.from_dict(payload)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a fleet manifest"):
+            FleetSpec.from_dict({"format": "something-else"})
+
+
+# ----------------------------------------------------------------------
+# live fleets
+# ----------------------------------------------------------------------
+class FleetThread:
+    """A FleetHandle running its lifecycle on a private event-loop thread."""
+
+    def __init__(self, handle: FleetHandle) -> None:
+        self.handle = handle
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._failures: list[BaseException] = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.loop = asyncio.get_running_loop()
+            await self.handle.start()
+            self._started.set()
+            try:
+                await self.handle.wait_for_shutdown()
+            finally:
+                await self.handle.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # noqa: BLE001 - surfaced to the test
+            self._failures.append(error)
+            self._started.set()
+
+    def start(self) -> "FleetThread":
+        self._thread.start()
+        assert self._started.wait(60), "fleet never started"
+        if self._failures:
+            raise self._failures[0]
+        return self
+
+    def stop_shard(self, name: str) -> None:
+        assert self.loop is not None
+        asyncio.run_coroutine_threadsafe(
+            self.handle.stop_shard(name), self.loop
+        ).result(30)
+
+    def shutdown(self) -> None:
+        with JoinClient(*self.handle.address) as client:
+            client.shutdown()
+        self._thread.join(30)
+        if self._failures:
+            raise self._failures[0]
+
+
+@pytest.fixture(scope="module")
+def fleet_parts():
+    instance = chain_instance(cardinality=240, seed=2)
+    return partition_instance(instance, 2, name="twoshard")
+
+
+@pytest.fixture()
+def fleet(fleet_parts):
+    handle = FleetHandle(
+        fleet_parts.spec,
+        instances=fleet_parts.instances,
+        executor="thread",
+        workers=2,
+    )
+    runner = FleetThread(handle).start()
+    yield handle
+    runner.shutdown()
+
+
+def solve_record(instance="twoshard", **fields):
+    record = {
+        "v": PROTOCOL_VERSION,
+        "op": "solve",
+        "id": fields.pop("id", "t-1"),
+        "instance": instance,
+    }
+    record.update(fields)
+    return record
+
+
+class TestRouter:
+    def test_ping_identifies_router(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            response = client.ping()
+        assert response["role"] == "fleet-router"
+        assert response["shards"] == 2
+
+    def test_datasets_lists_fleet_instance(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            response = client.datasets()
+        assert response["instances"] == ["twoshard"]
+        assert set(response["shards"]) == {
+            "twoshard-shard-0",
+            "twoshard-shard-1",
+        }
+
+    def test_register_is_rejected(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.register("x", "/tmp/nowhere")
+        assert excinfo.value.code == "bad_request"
+
+    def test_solve_scatters_to_all_shards_and_merges(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            response = client.request(
+                solve_record(deadline=5.0, max_iterations=600, seed=3)
+            )
+        assert response["status"] == "ok"
+        info = response["fleet"]
+        assert sorted(info["answered"]) == [
+            "twoshard-shard-0",
+            "twoshard-shard-1",
+        ]
+        assert info["degraded"] is False
+        assert info["lost"] == []
+        # the merged assignment uses *global* object ids: every id must
+        # be a valid index into the full 240-object datasets
+        assert all(0 <= v < 240 for v in response["assignment"])
+        assert response["approximate"] or response["exact"]
+
+    def test_unknown_instance_is_structured(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            response = client.request(solve_record(instance="elsewhere"))
+        assert response["status"] == "error"
+        assert response["error"]["code"] == "unknown_dataset"
+
+    def test_fanout_caps_contacted_shards(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            response = client.request(
+                solve_record(
+                    deadline=5.0, max_iterations=400, seed=4, fanout=1,
+                    cache=False,
+                )
+            )
+        assert response["status"] == "ok"
+        info = response["fleet"]
+        assert len(info["planned"]) == 1
+        # voluntary partial coverage: approximate but NOT degraded
+        assert info["degraded"] is False
+        assert response["exact"] is False
+
+    def test_bad_fanout_is_rejected(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            response = client.request(solve_record(fanout=0))
+        assert response["status"] == "error"
+        assert response["error"]["code"] == "bad_request"
+
+    def test_merged_answers_are_cached(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            first = client.request(
+                solve_record(deadline=5.0, max_iterations=500, seed=11)
+            )
+            second = client.request(
+                solve_record(
+                    deadline=5.0, max_iterations=500, seed=11, id="t-2"
+                )
+            )
+        assert first["status"] == "ok" and first["cached"] is False
+        assert second["status"] == "ok" and second["cached"] is True
+        assert second["assignment"] == first["assignment"]
+
+    def test_solve_deterministic_for_fixed_seed(self, fleet):
+        responses = []
+        for index in range(2):
+            with JoinClient(*fleet.address) as client:
+                responses.append(
+                    client.request(
+                        solve_record(
+                            deadline=10.0, max_iterations=500, seed=21,
+                            cache=False, id=f"d-{index}",
+                        )
+                    )
+                )
+        first, second = responses
+        assert first["assignment"] == second["assignment"]
+        assert first["violations"] == second["violations"]
+        assert first["fleet"]["shard"] == second["fleet"]["shard"]
+
+    def test_stats_exposes_per_shard_health(self, fleet):
+        with JoinClient(*fleet.address) as client:
+            client.request(solve_record(deadline=5.0, max_iterations=200))
+            stats = client.stats()
+        info = stats["fleet"]
+        assert info["name"] == "twoshard"
+        assert len(info["shards"]) == 2
+        for shard in info["shards"]:
+            assert shard["healthy"] is True
+            assert shard["cost"] > 0
+
+    def test_shard_unavailable_is_retryable(self):
+        assert ERROR_CODES["shard_unavailable"] is True
+
+
+class TestShardLoss:
+    def test_killed_shard_degrades_never_drops(self, fleet_parts):
+        handle = FleetHandle(
+            fleet_parts.spec,
+            instances=fleet_parts.instances,
+            executor="thread",
+            workers=2,
+        )
+        runner = FleetThread(handle).start()
+        try:
+            runner.stop_shard("twoshard-shard-1")
+            for index in range(3):
+                with JoinClient(*handle.address) as client:
+                    response = client.request(
+                        solve_record(
+                            deadline=5.0, max_iterations=300,
+                            seed=30 + index, cache=False, id=f"k-{index}",
+                        )
+                    )
+                assert response["status"] == "ok"
+                assert response["approximate"] is True
+                assert response["exact"] is False
+                assert response["fleet"]["degraded"] is True
+                assert response["fleet"]["answered"] == ["twoshard-shard-0"]
+        finally:
+            runner.shutdown()
+
+    def test_all_shards_lost_returns_structured_retryable_error(
+        self, fleet_parts
+    ):
+        handle = FleetHandle(
+            fleet_parts.spec,
+            instances=fleet_parts.instances,
+            executor="thread",
+            workers=1,
+        )
+        runner = FleetThread(handle).start()
+        try:
+            runner.stop_shard("twoshard-shard-0")
+            runner.stop_shard("twoshard-shard-1")
+            with JoinClient(*handle.address) as client:
+                response = client.request(
+                    solve_record(deadline=3.0, max_iterations=100, cache=False)
+                )
+            assert response["status"] == "error"
+            assert response["error"]["code"] == "shard_unavailable"
+            assert response["error"]["retryable"] is True
+        finally:
+            runner.shutdown()
+
+    def test_surviving_shard_deterministic_after_loss(self, fleet_parts):
+        answers = []
+        for attempt in range(2):
+            handle = FleetHandle(
+                fleet_parts.spec,
+                instances=fleet_parts.instances,
+                executor="thread",
+                workers=2,
+            )
+            runner = FleetThread(handle).start()
+            try:
+                runner.stop_shard("twoshard-shard-1")
+                with JoinClient(*handle.address) as client:
+                    response = client.request(
+                        solve_record(
+                            deadline=10.0, max_iterations=400, seed=77,
+                            cache=False, id=f"s-{attempt}",
+                        )
+                    )
+                assert response["status"] == "ok"
+                answers.append(
+                    (response["assignment"], response["violations"])
+                )
+            finally:
+                runner.shutdown()
+        assert answers[0] == answers[1]
+
+
+# ----------------------------------------------------------------------
+# the acceptance test: 16 concurrent clients, 25% shard-kill chaos
+# ----------------------------------------------------------------------
+class TestFleetAcceptance:
+    def test_concurrent_clients_under_shard_kill_chaos(self):
+        instance = chain_instance(cardinality=240, seed=4)
+        partition = partition_instance(instance, 3, name="acc")
+        plan = FaultPlan(
+            seed=0,
+            specs=[
+                FaultSpec(
+                    site=SITE_FLEET_DISPATCH, kind="crash", probability=0.25
+                )
+            ],
+        )
+        handle = FleetHandle(
+            partition.spec,
+            instances=partition.instances,
+            executor="thread",
+            workers=2,
+            max_pending=32,
+            fault_plan=plan,
+        )
+        runner = FleetThread(handle).start()
+        clients = 16
+        kill_after = threading.Barrier(clients + 1, timeout=60)
+        responses: list[list[dict]] = [[] for _ in range(clients)]
+        dropped: list[BaseException] = []
+
+        def storm(worker: int) -> None:
+            try:
+                with JoinClient(*handle.address) as client:
+                    # phase 1: all shards up, chaos plan injecting
+                    for q in range(2):
+                        responses[worker].append(
+                            client.request(
+                                solve_record(
+                                    instance="acc", deadline=8.0,
+                                    max_iterations=150, cache=False,
+                                    seed=worker * 10 + q,
+                                    id=f"w{worker}-a{q}",
+                                )
+                            )
+                        )
+                    kill_after.wait()
+                    kill_after.wait()  # shard killed between the barriers
+                    # phase 2: one shard is permanently gone
+                    for q in range(2):
+                        responses[worker].append(
+                            client.request(
+                                solve_record(
+                                    instance="acc", deadline=8.0,
+                                    max_iterations=150, cache=False,
+                                    seed=worker * 10 + 5 + q,
+                                    id=f"w{worker}-b{q}",
+                                )
+                            )
+                        )
+            except BaseException as error:  # noqa: BLE001 - a drop
+                dropped.append(error)
+
+        threads = [
+            threading.Thread(target=storm, args=(worker,), daemon=True)
+            for worker in range(clients)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            kill_after.wait()  # every client finished phase 1
+            runner.stop_shard("acc-shard-2")
+            kill_after.wait()  # release phase 2
+            for thread in threads:
+                thread.join(120)
+                assert not thread.is_alive(), "client wedged"
+        finally:
+            runner.shutdown()
+
+        # zero dropped requests: every client got a structured response
+        # for every query (transport never raised)
+        assert dropped == []
+        flat = [r for per_client in responses for r in per_client]
+        assert len(flat) == clients * 4
+        for response in flat:
+            assert response.get("status") in ("ok", "error"), response
+            if response["status"] == "error":
+                # chaos may lose every shard of one scatter; that must
+                # surface as the retryable structured code, never a drop
+                assert response["error"]["code"] == "shard_unavailable"
+                assert response["error"]["retryable"] is True
+        # post-kill answers: shard-2 queries degrade to approximate (or
+        # arrive flagged recovered), they never error with a new code
+        post_kill = [
+            r
+            for per_client in responses
+            for r in per_client[2:]
+            if r["status"] == "ok"
+        ]
+        assert post_kill, "no post-kill answers at all"
+        for response in post_kill:
+            assert response["approximate"] or response.get("recovered"), (
+                response
+            )
+
+
+# ----------------------------------------------------------------------
+# cross-shard trace merge (obs satellite)
+# ----------------------------------------------------------------------
+class TestTraceMerge:
+    def test_merge_tags_sources_and_validates(self, tmp_path):
+        from repro.obs import merge_trace_files
+        from repro.obs.events import dump_records
+
+        a = tmp_path / "router.jsonl"
+        b = tmp_path / "shard.jsonl"
+        dump_records(
+            [
+                {"v": 1, "type": "request", "ts": 2.0, "seq": 1,
+                 "op": "solve", "status": "ok", "elapsed": 0.5},
+            ],
+            str(a),
+        )
+        dump_records(
+            [
+                {"v": 1, "type": "request", "ts": 1.0, "seq": 1,
+                 "op": "solve", "status": "ok", "elapsed": 0.2},
+            ],
+            str(b),
+        )
+        merged = merge_trace_files([str(a), str(b)])
+        assert [r["source"] for r in merged] == [
+            "shard.jsonl", "router.jsonl",
+        ]  # timestamp order
+        assert all(r["v"] == 1 for r in merged)
+
+    def test_duplicate_basenames_fall_back_to_full_paths(self, tmp_path):
+        from repro.obs import merge_trace_files
+        from repro.obs.events import dump_records
+
+        record = {"v": 1, "type": "restart", "ts": 0.0, "seq": 1, "index": 0}
+        (tmp_path / "x").mkdir()
+        (tmp_path / "y").mkdir()
+        a = tmp_path / "x" / "trace.jsonl"
+        b = tmp_path / "y" / "trace.jsonl"
+        dump_records([record], str(a))
+        dump_records([record], str(b))
+        merged = merge_trace_files([str(a), str(b)])
+        assert sorted({r["source"] for r in merged}) == sorted(
+            [str(a), str(b)]
+        )

@@ -1083,6 +1083,11 @@ def test_rl013_sabotage_undeclared_site_literal(tmp_path):
         "src/repro/core/parallel.py": (
             REPO_ROOT / "src/repro/core/parallel.py"
         ).read_text(),
+        # every declared SITE_* needs its consumer in the mini-project,
+        # or the clean baseline trips the dead-declaration arm
+        "src/repro/fleet/router.py": (
+            REPO_ROOT / "src/repro/fleet/router.py"
+        ).read_text(),
     }
     baseline = dict(files)
     baseline["src/repro/service/worker.py"] = worker
