@@ -56,10 +56,12 @@ __all__ = [
     "DEFAULT_TIME_THRESHOLD_PCT",
 ]
 
-#: units carrying absolute wall time — host-bound, only comparable when
-#: the environment fingerprint (machine + platform) matches, and gated
-#: against the looser ``time_threshold_pct`` noise floor
-TIME_UNITS = frozenset({"s", "ms", "us", "ns", "s/call", "ns/call"})
+#: units carrying absolute wall time (or its reciprocal — a throughput
+#: rate is just wall-clock divided out of a fixed request count) —
+#: host-bound, only comparable when the environment fingerprint
+#: (machine + platform) matches, and gated against the looser
+#: ``time_threshold_pct`` noise floor
+TIME_UNITS = frozenset({"s", "ms", "us", "ns", "s/call", "ns/call", "req/s"})
 
 #: default noise floor for wall-clock sections (percent) — above every
 #: run-to-run spread observed on loaded runners, below any real blow-up

@@ -378,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "grid = regular grid")
     fleet_partition.add_argument("--name", default="fleet",
                                  help="fleet (and routed instance) name")
+    fleet_partition.add_argument("--replicas", type=_positive_int, default=1,
+                                 help="hosts per tile (R-way replication: "
+                                 "the router fails over inside the replica "
+                                 "group and the answer stays exact)")
     fleet_serve = fleet_commands.add_parser(
         "serve", help="launch shard servers + router (or attach the router "
         "to externally running shards)"
@@ -402,6 +406,18 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_serve.add_argument("--max-deadline", type=float, default=60.0)
     fleet_serve.add_argument("--cache-capacity", type=int, default=256,
                              help="router merged-solution cache (0 disables)")
+    fleet_serve.add_argument("--no-hedge", action="store_true",
+                             help="disable hedged duplicate sub-queries "
+                             "against replicas")
+    fleet_serve.add_argument("--supervise", action="store_true",
+                             help="run the shard supervisor: probe shard "
+                             "servers and respawn dead ones from the "
+                             "manifest (bounded restart budget)")
+    fleet_serve.add_argument("--pid", action="append", default=[],
+                             metavar="SHARD=PID",
+                             help="pid of an externally launched shard "
+                             "(attach mode); the supervisor checks process "
+                             "liveness in addition to pings (repeatable)")
     fleet_serve.add_argument("--trace", metavar="PATH", default=None,
                              help="router-side JSONL request log")
     fleet_serve.add_argument("--fault-plan", metavar="PATH", default=None,
@@ -1033,7 +1049,8 @@ def _cmd_fleet_partition(args: argparse.Namespace) -> int:
         return 1
     try:
         partition = partition_instance(
-            instance, args.shards, method=args.method, name=args.name
+            instance, args.shards, method=args.method, name=args.name,
+            replicas=args.replicas,
         )
     except ValueError as error:
         print(f"partition failed: {error}", file=sys.stderr)
@@ -1041,9 +1058,11 @@ def _cmd_fleet_partition(args: argparse.Namespace) -> int:
     manifest = save_partition(partition, args.out)
     print(f"wrote {manifest}")
     print(format_table(
-        f"fleet {args.name} — {args.shards} {args.method} shard(s)",
-        ["shard", "objects", "cost", "tile"],
+        f"fleet {args.name} — {args.shards} {args.method} shard(s), "
+        f"{args.replicas} replica(s)",
+        ["shard", "objects", "cost", "hosts", "tile"],
         [[shard.name, sum(shard.counts), round(shard.cost_total, 3),
+          ",".join(shard.replica_group),
           "[" + ", ".join(f"{c:.3f}" for c in shard.tile) + "]"]
          for shard in partition.spec.shards],
     ))
@@ -1059,6 +1078,16 @@ def _parse_endpoints(pairs: list[str]) -> dict[str, tuple[str, int]]:
             raise SystemExit(f"--attach expects SHARD=HOST:PORT, got {pair!r}")
         endpoints[name] = (host, int(port))
     return endpoints
+
+
+def _parse_pids(pairs: list[str]) -> dict[str, int]:
+    pids: dict[str, int] = {}
+    for pair in pairs:
+        name, separator, pid = pair.partition("=")
+        if not separator or not name or not pid.isdigit():
+            raise SystemExit(f"--pid expects SHARD=PID, got {pair!r}")
+        pids[name] = int(pid)
+    return pids
 
 
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
@@ -1081,6 +1110,10 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as error:
             print(f"cannot load fault plan: {error}", file=sys.stderr)
             return 1
+    def _supervisor_line(line: str) -> None:
+        # flushed so external drivers (CI) can tail respawn events live
+        print(line, flush=True)
+
     handle = FleetHandle(
         spec,
         endpoints=endpoints,
@@ -1092,6 +1125,10 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         max_deadline=args.max_deadline,
         cache_capacity=args.cache_capacity,
+        hedge=not args.no_hedge,
+        supervise=args.supervise,
+        supervisor_log=_supervisor_line,
+        pids=_parse_pids(args.pid),
         fault_plan=fault_plan,
     )
 
@@ -1106,6 +1143,12 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
               f"(fleet {spec.name!r}, {len(spec.shards)} shard(s), "
               f"method {spec.method})", flush=True)
         print(f"ready host={host} port={port}", flush=True)
+        if handle.supervisor is not None:
+            policy = handle.supervisor.policy
+            print(f"supervising {len(spec.server_names)} server(s): "
+                  f"probe every {policy.probe_interval}s, "
+                  f"restart budget {policy.max_restarts} "
+                  f"(≤{policy.budget():.2f}s backoff)", flush=True)
         if fault_plan is not None:
             print(f"fault plan active: {len(fault_plan.specs)} spec(s) at "
                   f"{sorted(fault_plan.sites())}", flush=True)
@@ -1167,6 +1210,9 @@ def _cmd_fleet_query(args: argparse.Namespace) -> int:
               f"(winner {fleet.get('shard', '-')}, "
               f"lost {fleet.get('lost', [])}, "
               f"degraded {fleet.get('degraded', False)})")
+        if fleet.get("failover") or fleet.get("hedged"):
+            print(f"healing: failover {fleet.get('failover', [])}, "
+                  f"hedged {fleet.get('hedged', [])}")
     print(f"result: {'exact' if response['exact'] else 'approximate'} "
           f"violations={response['violations']} "
           f"similarity={response['similarity']:.4f}"
@@ -1191,19 +1237,44 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
         print("not a fleet router (no fleet stats in response)", file=sys.stderr)
         return 1
     fleet = response["fleet"]
-    print(f"fleet {fleet['name']!r} ({fleet['method']}): "
+    hedge = fleet.get("hedge", {})
+    print(f"fleet {fleet['name']!r} ({fleet['method']}, "
+          f"{fleet.get('replicas', 1)} replica(s)): "
           f"{response['requests_total']} request(s), "
           f"{response['errors_total']} error(s), "
-          f"{fleet['degraded_total']} degraded")
+          f"{fleet['degraded_total']} degraded, "
+          f"{fleet.get('failover_total', 0)} failover(s), "
+          f"hedges {hedge.get('won', 0)}/{hedge.get('launched', 0)} won "
+          f"({hedge.get('suppressed', 0)} suppressed)")
+
+    def _age(value: object) -> str:
+        return "-" if value is None else f"{value:.1f}s"
+
     print(format_table(
         "shards",
-        ["shard", "endpoint", "healthy", "cost", "objects",
-         "dispatched", "answered", "lost"],
+        ["shard", "endpoint", "healthy", "cost", "bias", "inflight",
+         "dispatched", "answered", "lost", "probed", "changed"],
         [[s["name"], f"{s['endpoint'][0]}:{s['endpoint'][1]}",
           "yes" if s["healthy"] else "DOWN", round(s["cost"], 3),
-          s["objects"], s["dispatched"], s["answered"], s["lost"]]
+          round(s.get("bias", s["cost"]), 3), s.get("inflight", 0),
+          s["dispatched"], s["answered"], s["lost"],
+          _age(s.get("last_probe_age")),
+          _age(s.get("since_state_change"))]
          for s in fleet["shards"]],
     ))
+    supervisor = fleet.get("supervisor")
+    if supervisor is not None:
+        policy = supervisor["policy"]
+        print(f"supervisor: {supervisor['respawns_total']} respawn "
+              f"attempt(s), budget {policy['max_restarts']} restart(s) "
+              f"(≤{policy['budget']:.2f}s backoff)")
+        print(format_table(
+            "supervised servers",
+            ["server", "state", "restarts", "failed attempts"],
+            [[name, state["state"], state["restarts"],
+              state["failed_attempts"]]
+             for name, state in supervisor["servers"].items()],
+        ))
     return 0
 
 

@@ -41,6 +41,7 @@ from .chaos import (
 )
 from .hooks import (
     SITE_FLEET_DISPATCH,
+    SITE_FLEET_RESPAWN,
     SITE_MEMBER_PROGRESS,
     SITE_MEMBER_RESULT,
     SITE_MEMBER_START,
@@ -77,6 +78,7 @@ __all__ = [
     "SITE_MEMBER_RESULT",
     "SITE_SERVICE_JOB",
     "SITE_FLEET_DISPATCH",
+    "SITE_FLEET_RESPAWN",
     "crash_member",
     "crash_after_improvements",
     "hang_member",

@@ -46,6 +46,7 @@ __all__ = [
     "SITE_MEMBER_RESULT",
     "SITE_SERVICE_JOB",
     "SITE_FLEET_DISPATCH",
+    "SITE_FLEET_RESPAWN",
 ]
 
 # ----------------------------------------------------------------------
@@ -63,6 +64,11 @@ SITE_SERVICE_JOB = "service.job"
 #: router's dispatch counter) — a crash here simulates shard loss: the
 #: merged answer degrades to ``approximate``, the request never drops
 SITE_FLEET_DISPATCH = "fleet.dispatch"
+#: the shard supervisor is about to respawn a dead shard server
+#: (index = the supervisor's respawn counter, attempt = the backoff
+#: attempt) — a crash/error here makes the respawn itself fail, so chaos
+#: plans can exercise the bounded restart budget
+SITE_FLEET_RESPAWN = "fleet.respawn"
 
 
 class InjectedCrash(RuntimeError):

@@ -9,6 +9,13 @@ speaks the same JSON-lines protocol to clients — planning each multiway
 query across shards with the [TSS98] cost model, scattering
 deadline-budgeted sub-queries and merging partial solutions.  Shard loss
 degrades answers to ``approximate``; it never drops a request.
+
+The self-healing layer on top: tiles can be *replicated* across shard
+servers (``partition_instance(..., replicas=R)``), the router fails over
+to replicas (answers stay exact) and hedges straggling sub-queries, and
+a :class:`~repro.fleet.supervisor.ShardSupervisor` watchdog respawns
+dead servers from the partition manifest within a bounded restart
+budget — recovery back to exact answers, not just survival.
 """
 
 from .launcher import FleetHandle
@@ -18,10 +25,12 @@ from .partition import (
     FleetSpec,
     ShardSpec,
     load_fleet,
+    load_shard_instance,
     partition_instance,
     save_partition,
 )
 from .router import FleetRouter
+from .supervisor import ShardSupervisor, SupervisorPolicy
 
 __all__ = [
     "FleetHandle",
@@ -30,7 +39,10 @@ __all__ = [
     "FleetSpec",
     "PARTITION_METHODS",
     "ShardSpec",
+    "ShardSupervisor",
+    "SupervisorPolicy",
     "load_fleet",
+    "load_shard_instance",
     "partition_instance",
     "save_partition",
 ]

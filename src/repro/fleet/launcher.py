@@ -1,4 +1,4 @@
-"""Fleet assembly: shard servers + router on one event loop.
+"""Fleet assembly: shard servers + router (+ supervisor) on one loop.
 
 :class:`FleetHandle` is the programmatic way to stand a fleet up — the
 CLI ``fleet serve``, the tests and the benchmarks all go through it.
@@ -9,17 +9,24 @@ Two modes:
   persisted shard directories, then the router on top.  Everything
   shares the caller's event loop; each shard still owns its own worker
   pool and warm plane, so process-executor shards solve in true
-  parallel.
+  parallel.  With a replicated partition each server registers every
+  tile it hosts (its primary plus the replicas assigned by the ring),
+  which is what gives the router somewhere exact to fail over to.
 * **attach** — shards already run elsewhere (separate OS processes,
   other hosts); only the router is started, over the given endpoints.
   This is what the CI smoke test uses so it can kill a shard process
   mid-burst.
+
+``supervise=True`` additionally runs a
+:class:`~repro.fleet.supervisor.ShardSupervisor` that watches the shard
+endpoints (and, in attach mode, their pids) and respawns dead servers
+from the partition within a bounded restart budget.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+from typing import Any, Callable
 
 from ..faults import FaultPlan
 from ..query.hardness import ProblemInstance
@@ -27,6 +34,7 @@ from ..service.registry import DatasetRegistry
 from ..service.server import JoinServer
 from .partition import FleetSpec, load_shard_instance
 from .router import FleetRouter
+from .supervisor import ShardSupervisor, SupervisorPolicy
 
 __all__ = ["FleetHandle"]
 
@@ -37,7 +45,7 @@ class FleetHandle:
     Parameters
     ----------
     spec:
-        The fleet manifest (tiles, cost snapshots, id maps).
+        The fleet manifest (tiles, cost snapshots, id maps, replicas).
     instances:
         In-memory shard instances, parallel to ``spec.shards``.  ``None``
         loads each shard from its persisted ``instance_dir``.
@@ -49,10 +57,20 @@ class FleetHandle:
     workers / executor / max_pending / warm:
         Per-shard :class:`JoinServer` knobs; ``executor="thread"`` keeps
         tests light, ``"process"`` gives real parallelism.
+    hedge:
+        Router-side hedged scatter (default on; a no-op for
+        unreplicated fleets).
+    supervise:
+        Run a :class:`ShardSupervisor` over the shard servers; respawned
+        servers get like-for-like knobs and fresh ephemeral ports.
+    supervisor_policy / supervisor_log / pids:
+        Watchdog cadence + restart budget, event-line sink, and (attach
+        mode) external shard pids for liveness checks.
     fault_plan:
         Chaos plan activated in the *router* process — this is where the
-        ``fleet.dispatch`` site lives.  Shard-side plans belong to the
-        shards themselves (pass one when launching them externally).
+        ``fleet.dispatch`` and ``fleet.respawn`` sites live.  Shard-side
+        plans belong to the shards themselves (pass one when launching
+        them externally).
     """
 
     def __init__(
@@ -70,6 +88,11 @@ class FleetHandle:
         max_deadline: float = 60.0,
         cache_capacity: int = 256,
         warm: bool | None = None,
+        hedge: bool = True,
+        supervise: bool = False,
+        supervisor_policy: SupervisorPolicy | None = None,
+        supervisor_log: Callable[[str], None] | None = None,
+        pids: dict[str, int] | None = None,
         fault_plan: FaultPlan | None = None,
     ) -> None:
         if instances is not None and len(instances) != len(spec.shards):
@@ -83,6 +106,10 @@ class FleetHandle:
         self._attach = dict(endpoints) if endpoints is not None else None
         self._host = host
         self._router_port = router_port
+        self._supervise = supervise
+        self._supervisor_policy = supervisor_policy
+        self._supervisor_log = supervisor_log
+        self._pids = dict(pids or {})
         self._server_kwargs: dict[str, Any] = {
             "workers": workers,
             "executor": executor,
@@ -96,10 +123,12 @@ class FleetHandle:
             "default_deadline": default_deadline,
             "max_deadline": max_deadline,
             "cache_capacity": cache_capacity,
+            "hedge": hedge,
             "fault_plan": fault_plan,
         }
-        self.shard_servers: list[JoinServer] = []
+        self.shard_servers: dict[str, JoinServer] = {}
         self.router: FleetRouter | None = None
+        self.supervisor: ShardSupervisor | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -109,27 +138,41 @@ class FleetHandle:
 
     @property
     def shard_addresses(self) -> dict[str, tuple[str, int]]:
-        """``{shard_name: (host, port)}`` for every shard."""
+        """``{server_name: (host, port)}`` for every *live* shard server.
+
+        A server stopped via :meth:`stop_shard` is absent — a dead
+        endpoint must not be advertised.
+        """
         if self._attach is not None:
             return dict(self._attach)
         return {
-            shard.name: server.address
-            for shard, server in zip(self.spec.shards, self.shard_servers)
+            name: server.address for name, server in self.shard_servers.items()
         }
 
     async def start(self) -> "FleetHandle":
         """Launch shard servers (unless attaching) and the router."""
         if self._attach is None:
-            for index, shard in enumerate(self.spec.shards):
+            by_tile: dict[str, ProblemInstance] = {}
+            for name in self.spec.server_names:
                 registry = DatasetRegistry()
-                if self._instances is not None:
+                # a server hosts its primary tile plus any replica tiles
+                # the partition ring assigned to it — each registered
+                # under the tile's instance name, so a failover answer
+                # comes from the *same* data as the primary would give
+                for index, tile in enumerate(self.spec.shards):
+                    if name not in tile.replica_group:
+                        continue
+                    if tile.name not in by_tile:
+                        if self._instances is not None:
+                            by_tile[tile.name] = self._instances[index]
+                        else:
+                            # persisted shards load from disk: off the loop
+                            by_tile[tile.name] = await asyncio.to_thread(
+                                load_shard_instance, tile
+                            )
                     registry.register_instance(
-                        shard.instance_name, self._instances[index]
+                        tile.instance_name, by_tile[tile.name]
                     )
-                else:
-                    # persisted shards load from disk: off the event loop
-                    instance = await asyncio.to_thread(load_shard_instance, shard)
-                    registry.register_instance(shard.instance_name, instance)
                 server = JoinServer(
                     registry,
                     host=self._host,
@@ -137,7 +180,7 @@ class FleetHandle:
                     **self._server_kwargs,
                 )
                 await server.start()
-                self.shard_servers.append(server)
+                self.shard_servers[name] = server
         self.router = FleetRouter(
             self.spec,
             self.shard_addresses,
@@ -146,24 +189,46 @@ class FleetHandle:
             **self._router_kwargs,
         )
         await self.router.start()
+        if self._supervise:
+            self.supervisor = ShardSupervisor(
+                self.spec,
+                self.router,
+                policy=self._supervisor_policy,
+                server_kwargs=self._server_kwargs,
+                instances=self._instances,
+                pids=self._pids,
+                log=self._supervisor_log,
+            )
+            self.router.supervisor = self.supervisor
+            await self.supervisor.start()
         return self
 
     async def stop(self) -> None:
-        """Stop the router first (no new scatters), then the shards."""
+        """Stop supervisor, then router (no new scatters), then shards."""
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+            self.supervisor = None
         if self.router is not None:
+            self.router.supervisor = None
             await self.router.stop()
             self.router = None
-        for server in self.shard_servers:
+        for server in self.shard_servers.values():
             await server.stop()
-        self.shard_servers = []
+        self.shard_servers = {}
 
     async def stop_shard(self, shard_name: str) -> None:
-        """Kill one launched shard server (the in-process chaos lever)."""
-        for shard, server in zip(self.spec.shards, self.shard_servers):
-            if shard.name == shard_name:
-                await server.stop()
-                return
-        raise KeyError(f"unknown or unlaunched shard {shard_name!r}")
+        """Kill one launched shard server (the in-process chaos lever).
+
+        The stopped server is *removed* from :attr:`shard_servers`:
+        ``shard_addresses`` stops advertising the dead endpoint and
+        :meth:`stop` will not double-stop it.  (``JoinServer.stop`` is
+        idempotent anyway, but a dead server lingering in the handle
+        misrepresents the fleet.)
+        """
+        server = self.shard_servers.pop(shard_name, None)
+        if server is None:
+            raise KeyError(f"unknown or unlaunched shard {shard_name!r}")
+        await server.stop()
 
     async def __aenter__(self) -> "FleetHandle":
         return await self.start()

@@ -19,6 +19,15 @@ the global numbering, and a *cost snapshot*: the [TSS98] analytical node
 accesses (:func:`repro.index.costmodel.predicted_node_accesses`) for an
 average-extent window against each shard tree.  The snapshot is the
 router's routing signal — cheapest predicted shards are contacted first.
+
+**Replication** (``replicas=R``): each tile is hosted by ``R`` shard
+servers — its *primary* (the server named after the tile) plus the next
+``R-1`` servers in ring order — recorded in :attr:`ShardSpec.hosts`
+(primary first).  A replica hosts the *same* tile sub-instance under the
+same instance name, so the router can fail a tile's sub-query over to a
+replica and the answer stays **exact**.  Replicated manifests are
+written as ``repro-fleet/2``; plain ``repro-fleet/1`` manifests (every
+tile hosted only by its primary) still load.
 """
 
 from __future__ import annotations
@@ -43,18 +52,22 @@ __all__ = [
     "partition_instance",
     "save_partition",
     "load_fleet",
+    "load_shard_instance",
     "PARTITION_METHODS",
 ]
 
 PARTITION_METHODS = ("str", "grid")
 
 _MANIFEST = "fleet.json"
-_FORMAT = "repro-fleet/1"
+#: current manifest format (written); v1 manifests still load
+_FORMAT = "repro-fleet/2"
+_FORMAT_V1 = "repro-fleet/1"
+_KNOWN_FORMATS = (_FORMAT_V1, _FORMAT)
 
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """One shard: its tile, instance naming, id maps and cost snapshot."""
+    """One tile: its extent, instance naming, id maps, cost and hosts."""
 
     name: str
     tile: Rect
@@ -70,6 +83,14 @@ class ShardSpec:
     cost_total: float
     #: persisted instance directory (absolute), None for in-memory fleets
     instance_dir: str | None = None
+    #: shard servers hosting this tile, primary first (the tile's
+    #: failover group); empty means "primary only", i.e. ``(name,)``
+    hosts: tuple[str, ...] = ()
+
+    @property
+    def replica_group(self) -> tuple[str, ...]:
+        """The servers hosting this tile, primary first (never empty)."""
+        return self.hosts if self.hosts else (self.name,)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -81,6 +102,7 @@ class ShardSpec:
             "cost_per_variable": list(self.cost_per_variable),
             "cost_total": self.cost_total,
             "instance_dir": self.instance_dir,
+            "hosts": list(self.replica_group),
         }
 
     @classmethod
@@ -94,6 +116,8 @@ class ShardSpec:
             cost_per_variable=tuple(payload["cost_per_variable"]),
             cost_total=float(payload["cost_total"]),
             instance_dir=payload.get("instance_dir"),
+            # v1 manifests carry no hosts: the tile is primary-only
+            hosts=tuple(payload.get("hosts", ()) or (payload["name"],)),
         )
 
 
@@ -106,10 +130,23 @@ class FleetSpec:
     workspace: Rect
     query: dict[str, Any]
     shards: tuple[ShardSpec, ...]
+    #: copies of each tile across shard servers (1 = no replication)
+    replicas: int = 1
 
     @property
     def num_variables(self) -> int:
         return int(self.query["num_variables"])
+
+    @property
+    def server_names(self) -> tuple[str, ...]:
+        """Every shard server in the fleet (one per tile, same names)."""
+        return tuple(shard.name for shard in self.shards)
+
+    def hosted_tiles(self, server: str) -> tuple[ShardSpec, ...]:
+        """The tiles ``server`` hosts (its primary tile plus replicas)."""
+        return tuple(
+            shard for shard in self.shards if server in shard.replica_group
+        )
 
     def query_graph(self) -> Any:
         return query_from_dict(self.query)
@@ -121,21 +158,23 @@ class FleetSpec:
             "method": self.method,
             "workspace": list(self.workspace),
             "query": self.query,
+            "replicas": self.replicas,
             "shards": [shard.to_dict() for shard in self.shards],
         }
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "FleetSpec":
-        if payload.get("format") != _FORMAT:
+        if payload.get("format") not in _KNOWN_FORMATS:
             raise ValueError(
                 f"not a fleet manifest (format {payload.get('format')!r}, "
-                f"expected {_FORMAT!r})"
+                f"expected one of {list(_KNOWN_FORMATS)})"
             )
         return cls(
             name=payload["name"],
             method=payload["method"],
             workspace=Rect(*payload["workspace"]),
             query=payload["query"],
+            replicas=int(payload.get("replicas", 1)),
             shards=tuple(ShardSpec.from_dict(s) for s in payload["shards"]),
         )
 
@@ -250,15 +289,24 @@ def partition_instance(
     *,
     method: str = "str",
     name: str = "fleet",
+    replicas: int = 1,
 ) -> FleetPartition:
     """Split ``instance`` into ``shards`` spatial sub-instances.
 
     Every object is assigned to exactly one tile by MBR center; a shard
     whose sub-dataset would be empty for any variable raises ``ValueError``
     (lower the shard count or use more data).
+
+    With ``replicas=R > 1`` every tile is additionally hosted by the next
+    ``R-1`` shard servers in ring order, giving each tile a failover
+    group of ``R`` servers (see :attr:`ShardSpec.hosts`).
     """
     if shards < 2:
         raise ValueError(f"a fleet needs >= 2 shards, got {shards}")
+    if not 1 <= replicas <= shards:
+        raise ValueError(
+            f"replicas must be within [1, shards={shards}], got {replicas}"
+        )
     if method not in PARTITION_METHODS:
         raise ValueError(
             f"unknown partition method {method!r}; known: {PARTITION_METHODS}"
@@ -324,6 +372,10 @@ def partition_instance(
                 id_maps=tuple(tuple(ids) for ids in id_maps[shard]),
                 cost_per_variable=costs,
                 cost_total=sum(costs),
+                hosts=tuple(
+                    f"{name}-shard-{(shard + offset) % shards}"
+                    for offset in range(replicas)
+                ),
             )
         )
         shard_instances.append(
@@ -339,6 +391,7 @@ def partition_instance(
         method=method,
         workspace=workspace,
         query=query_to_dict(instance.query),
+        replicas=replicas,
         shards=tuple(shard_specs),
     )
     return FleetPartition(spec=spec, instances=shard_instances)
@@ -365,6 +418,7 @@ def save_partition(partition: FleetPartition, directory: str | Path) -> Path:
         method=partition.spec.method,
         workspace=partition.spec.workspace,
         query=partition.spec.query,
+        replicas=partition.spec.replicas,
         shards=tuple(shards),
     )
     manifest = directory / _MANIFEST
@@ -390,6 +444,7 @@ def load_fleet(path: str | Path) -> FleetSpec:
         method=spec.method,
         workspace=spec.workspace,
         query=spec.query,
+        replicas=spec.replicas,
         shards=tuple(shards),
     )
 

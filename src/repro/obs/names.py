@@ -126,6 +126,15 @@ METRIC_NAMES = frozenset(
         "fleet.shard.recovered",
         "fleet.shards.healthy",
         "fleet.latency",
+        # self-healing fleet: replica failover, hedged scatter, respawn
+        "fleet.failover",
+        "fleet.hedge.launched",
+        "fleet.hedge.won",
+        "fleet.hedge.suppressed",
+        "fleet.respawn.attempt",
+        "fleet.respawn.ok",
+        "fleet.respawn.failed",
+        "fleet.respawn.gave_up",
     }
 )
 

@@ -141,6 +141,22 @@ class JoinClient:
         )
         self._reader = self._socket.makefile("r", encoding="utf-8")
 
+    @property
+    def target(self) -> tuple[str, int]:
+        """The ``(host, port)`` this client dials (re-)connections to."""
+        return self._host, self._port
+
+    def rebind(self, host: str, port: int) -> None:
+        """Point the client at a new endpoint and reconnect.
+
+        This is the failover hook: when a server is respawned on a fresh
+        ephemeral port, callers swap the endpoint in place instead of
+        rebuilding the client (and its retry policy / request-id state).
+        """
+        self._host = host
+        self._port = port
+        self.reconnect()
+
     def close(self) -> dict[str, Any]:
         """Close the connection; idempotent, never raises.
 
@@ -277,6 +293,22 @@ class AsyncJoinClient:
         self._reader, self._writer = await asyncio.open_connection(
             self._host, self._port
         )
+
+    @property
+    def target(self) -> tuple[str, int]:
+        """The ``(host, port)`` this client dials (re-)connections to."""
+        return self._host, self._port
+
+    async def rebind(self, host: str, port: int) -> None:
+        """Point the client at a new endpoint and reconnect.
+
+        The async flavour of :meth:`JoinClient.rebind` — the supervisor
+        uses it to keep one cached probe client per shard server across
+        respawns onto fresh ephemeral ports.
+        """
+        self._host = host
+        self._port = port
+        await self.reconnect()
 
     async def request(self, record: Mapping[str, Any]) -> dict[str, Any]:
         assert self._reader is not None and self._writer is not None

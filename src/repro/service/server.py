@@ -159,6 +159,7 @@ class JoinServer:
         self._worker_names: set[str] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._shutdown: asyncio.Event | None = None
+        self._stopped = False
         self._writers: set[asyncio.StreamWriter] = set()
         self._connections: set[asyncio.Task[None]] = set()
 
@@ -214,6 +215,7 @@ class JoinServer:
 
     async def start(self) -> None:
         """Warm the registry, spin up the pool, and start listening."""
+        self._stopped = False
         # registry warming and pool construction read datasets off disk;
         # keep that I/O off the event loop even during startup
         await asyncio.to_thread(self.registry.warm)
@@ -225,8 +227,12 @@ class JoinServer:
             else:
                 self._worker_names = None
                 self._executor = ThreadPoolExecutor(max_workers=self.workers)
-                # thread workers share this process; the plan is ambient
-                self._previous_plan = activate_plan(self.fault_plan)
+                if self.fault_plan is not None:
+                    # thread workers share this process; the plan is
+                    # ambient.  A plan-less server must NOT touch the
+                    # global slot — it would deactivate a chaos plan some
+                    # other component (e.g. the fleet router) installed.
+                    self._previous_plan = activate_plan(self.fault_plan)
         self._shutdown = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
@@ -236,7 +242,15 @@ class JoinServer:
             self._port = sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Close the listener, drop open connections, shut the pool down."""
+        """Close the listener, drop open connections, shut the pool down.
+
+        Explicitly idempotent: a second ``stop()`` (e.g. a fleet handle
+        tearing down after ``stop_shard`` already killed this server) is
+        a no-op rather than re-walking half-released resources.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         if self._server is not None:
             self._server.close()
         for writer in list(self._writers):
@@ -249,7 +263,7 @@ class JoinServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
-            if self.executor_kind == "thread":
+            if self.executor_kind == "thread" and self.fault_plan is not None:
                 activate_plan(self._previous_plan)
                 self._previous_plan = None
         if self._warm_plane is not None:

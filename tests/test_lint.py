@@ -1088,6 +1088,9 @@ def test_rl013_sabotage_undeclared_site_literal(tmp_path):
         "src/repro/fleet/router.py": (
             REPO_ROOT / "src/repro/fleet/router.py"
         ).read_text(),
+        "src/repro/fleet/supervisor.py": (
+            REPO_ROOT / "src/repro/fleet/supervisor.py"
+        ).read_text(),
     }
     baseline = dict(files)
     baseline["src/repro/service/worker.py"] = worker
